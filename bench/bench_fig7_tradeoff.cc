@@ -1,0 +1,109 @@
+// E3 (paper §5, Fig. 7): the preprocessing / update-time / enumeration-
+// delay trade-off of IVMe for Q(A) = SUM_B R(A,B)*S(B), swept over eps.
+//
+// Paper's expected shape: O(N) preprocessing for every eps; update time
+// O(N^eps); (amortized) enumeration delay O(N^{1-eps}). The eps=0 and
+// eps=1 rows are the lazy and eager extremes; eps=1/2 touches the
+// OMv-conditional lower-bound cuboid.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "incr/ivme/eps_tradeoff.h"
+#include "incr/util/rng.h"
+
+using namespace incr;
+using namespace incr::bench;
+
+namespace {
+
+struct Point {
+  double preprocess_ns_per_tuple;
+  double update_ns;
+  double delay_ns;  // amortized: total enumeration time / #output tuples
+};
+
+Point Measure(double eps, int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  // |R| = n tuples, Zipf-skewed B; |S| = n/10 values.
+  int64_t n_b = std::max<int64_t>(2, n / 10);
+  ZipfSampler zipf(static_cast<uint64_t>(n_b), 1.1);
+  std::vector<std::pair<Tuple, int64_t>> r;
+  r.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    r.emplace_back(
+        Tuple{rng.UniformInt(0, n / 2),
+              static_cast<Value>(zipf.Sample(rng))},
+        1);
+  }
+  std::vector<std::pair<Value, int64_t>> s;
+  for (Value b = 0; b < n_b; ++b) s.emplace_back(b, 1);
+
+  EpsTradeoffEngine e(eps);
+  Stopwatch pre;
+  e.BulkLoad(r, s);
+  Point p;
+  p.preprocess_ns_per_tuple = NsPerOp(pre.ElapsedSeconds(), n + n_b);
+
+  // Steady-state single-tuple updates (insert+delete pairs keep N stable,
+  // mixing dR and dS).
+  const int64_t kOps = 4000;
+  Stopwatch upd;
+  for (int64_t i = 0; i < kOps / 4; ++i) {
+    Value a = rng.UniformInt(0, n / 2);
+    Value b = static_cast<Value>(zipf.Sample(rng));
+    e.UpdateR(a, b, 1);
+    e.UpdateS(b, 1);
+    e.UpdateS(b, -1);
+    e.UpdateR(a, b, -1);
+  }
+  p.update_ns = NsPerOp(upd.ElapsedSeconds(), kOps);
+
+  // Amortized enumeration delay over a bounded output prefix (delay is a
+  // per-tuple quantity; the full output would cost |out| * N^{1-eps}).
+  const size_t kPrefix = 2000;
+  Stopwatch enu;
+  size_t out = e.EnumerateLimit(kPrefix, nullptr);
+  p.delay_ns = NsPerOp(enu.ElapsedSeconds(), static_cast<int64_t>(out));
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  Section("E3: Fig. 7 — IVMe trade-off for Q(A)=SUM_B R(A,B)*S(B)");
+  const std::vector<int64_t> kSizes = {20000, 80000, 320000};
+  const std::vector<double> kEps = {0.0, 0.25, 0.5, 0.75, 1.0};
+  // points[e][s]
+  std::vector<std::vector<Point>> points(kEps.size());
+  for (size_t ei = 0; ei < kEps.size(); ++ei) {
+    for (int64_t n : kSizes) points[ei].push_back(Measure(kEps[ei], n, 3));
+  }
+  for (size_t si = 0; si < kSizes.size(); ++si) {
+    std::printf("\n|R| = %lld (plus |S| = |R|/10)\n",
+                static_cast<long long>(kSizes[si]));
+    Row({"eps", "preproc(ns/t)", "update(ns)", "delay(ns)"});
+    for (size_t ei = 0; ei < kEps.size(); ++ei) {
+      const Point& p = points[ei][si];
+      Row({Fmt(kEps[ei], "%.2f"), Fmt(p.preprocess_ns_per_tuple),
+           Fmt(p.update_ns), Fmt(p.delay_ns)});
+    }
+  }
+
+  Section("scaling exponents per eps (paper: update ~ eps, delay ~ 1-eps)");
+  Row({"eps", "update-slope", "delay-slope"});
+  for (size_t ei = 0; ei < kEps.size(); ++ei) {
+    std::vector<double> xs, upd, del;
+    for (size_t si = 0; si < kSizes.size(); ++si) {
+      xs.push_back(static_cast<double>(kSizes[si]));
+      upd.push_back(points[ei][si].update_ns);
+      del.push_back(points[ei][si].delay_ns);
+    }
+    Row({Fmt(kEps[ei], "%.2f"), Fmt(LogLogSlope(xs, upd), "%.2f"),
+         Fmt(LogLogSlope(xs, del), "%.2f")});
+  }
+  std::printf("\npaper shape: the (update, delay) exponents trace the line "
+              "from (0,1) to (1,0); eps=1/2 is the weakly-Pareto-optimal "
+              "point (1/2, 1/2)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E12: substrate microbenchmarks (DESIGN.md). Verifies the data-structure
+// contract of paper §2: amortized O(1) relation upsert/lookup/delete,
+// constant-delay scans, grouped-index operations.
+#include <benchmark/benchmark.h>
+
+#include "incr/data/grouped_index.h"
+#include "incr/data/relation.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+void BM_RelationInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Relation<IntRing> r(Schema{0, 1});
+    r.Reserve(static_cast<size_t>(n));
+    Rng rng(42);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      r.Apply(Tuple{rng.UniformInt(0, n), rng.UniformInt(0, n)}, 1);
+    }
+    benchmark::DoNotOptimize(r.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RelationInsert)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RelationLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Relation<IntRing> r(Schema{0, 1});
+  Rng rng(42);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{rng.UniformInt(0, n), rng.UniformInt(0, n)}, 1);
+  }
+  Rng probe(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        r.Payload(Tuple{probe.UniformInt(0, n), probe.UniformInt(0, n)}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationLookup)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RelationScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Relation<IntRing> r(Schema{0, 1});
+  Rng rng(42);
+  for (int64_t i = 0; i < n; ++i) {
+    r.Apply(Tuple{rng.UniformInt(0, n), rng.UniformInt(0, n)}, 1);
+  }
+  for (auto _ : state) {
+    int64_t acc = 0;
+    for (const auto& e : r) acc += e.value;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(r.size()));
+}
+BENCHMARK(BM_RelationScan)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RelationInsertDeleteChurn(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Relation<IntRing> r(Schema{0, 1});
+  Rng rng(42);
+  for (int64_t i = 0; i < n; ++i) r.Apply(Tuple{i, i}, 1);
+  int64_t k = 0;
+  for (auto _ : state) {
+    // Steady-state churn: one delete, one insert.
+    r.Apply(Tuple{k % n, k % n}, -1);
+    r.Apply(Tuple{k % n, k % n}, 1);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RelationInsertDeleteChurn)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_GroupedIndexInsertErase(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  GroupedIndex idx(Schema{0, 1}, Schema{0});
+  Rng rng(42);
+  for (int64_t i = 0; i < n; ++i) {
+    idx.Insert(Tuple{rng.UniformInt(0, 100), i});
+  }
+  int64_t k = n;
+  for (auto _ : state) {
+    Tuple t{k % 100, k};
+    idx.Insert(t);
+    idx.Erase(t);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_GroupedIndexInsertErase)->Arg(1 << 12)->Arg(1 << 18);
+
+void BM_GroupedIndexGroupScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  GroupedIndex idx(Schema{0, 1}, Schema{0});
+  for (int64_t i = 0; i < n; ++i) idx.Insert(Tuple{i % 64, i});
+  for (auto _ : state) {
+    const auto* g = idx.Group(Tuple{13});
+    int64_t acc = 0;
+    if (g != nullptr) {
+      for (const Tuple& t : *g) acc += t[1];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GroupedIndexGroupScan)->Arg(1 << 12)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace incr
+
+BENCHMARK_MAIN();

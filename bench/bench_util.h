@@ -1,0 +1,43 @@
+// Shared helpers for the experiment harnesses: simple aligned table output
+// and timing wrappers. Each bench binary regenerates one paper artifact
+// (see DESIGN.md §3) and prints the measured series next to the paper's
+// expected shape.
+#ifndef INCR_BENCH_BENCH_UTIL_H_
+#define INCR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "incr/util/stats.h"
+#include "incr/util/stopwatch.h"
+
+namespace incr::bench {
+
+/// Prints a separator + title block.
+inline void Section(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/// Fixed-width row printing: Row({"a","b"}) with width 14.
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, const char* fmt = "%.3g") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Nanoseconds per op given total seconds and op count.
+inline double NsPerOp(double seconds, int64_t ops) {
+  return ops == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(ops);
+}
+
+}  // namespace incr::bench
+
+#endif  // INCR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// CQAP example (paper §4.3): access-restricted lookups.
+//
+// Part 1 — the flight-booking motivation with the paper's tractable shape
+// Q(A|B) = S(A,B)*T(B) (Ex. 4.6): to see flights one must supply the day
+// and the route; the engine answers each access request with constant
+// delay while schedule updates are O(1).
+//
+//   Q(flight | day, route) = Schedule(flight, day, route) * Active(route)
+//
+// Part 2 — the triangle-detection CQAP Q(.|A,B,C) = E(A,B)*E(B,C)*E(C,A)
+// (Ex. 4.6): given three users, do they form a follow-cycle? Tractable
+// even though the underlying query is cyclic.
+//
+// The example also shows the *dichotomy* side: attaching seat counts as a
+// second output variable makes the CQAP intractable (an output variable
+// would dominate an input variable), and the engine refuses it.
+#include <cstdio>
+
+#include "incr/cqap/cqap_engine.h"
+#include "incr/ring/int_ring.h"
+
+using namespace incr;
+
+int main() {
+  enum : Var { kFlight = 0, kDay = 1, kRoute = 2, kSeats = 3,
+               kA = 4, kB = 5, kC = 6 };
+
+  // ---- Part 1: flight lookup ----
+  CqapQuery flights = CqapQuery::Make(
+      "flights", /*input=*/Schema{kDay, kRoute}, /*output=*/Schema{kFlight},
+      {Atom{"Schedule", Schema{kFlight, kDay, kRoute}},
+       Atom{"Active", Schema{kRoute}}});
+  std::printf("flight lookup tractable: %s\n",
+              IsTractableCqap(flights) ? "yes" : "no");
+  auto engine = CqapEngine<IntRing>::Make(flights);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  const Value kZrhCdg = 1, kCdgZrh = 2;
+  engine->Update("Active", Tuple{kZrhCdg}, 1);
+  engine->Update("Active", Tuple{kCdgZrh}, 1);
+  engine->Update("Schedule", Tuple{100, 5, kZrhCdg}, 1);
+  engine->Update("Schedule", Tuple{101, 5, kZrhCdg}, 1);
+  engine->Update("Schedule", Tuple{102, 5, kCdgZrh}, 1);
+
+  auto show = [&](Value day, Value route) {
+    std::printf("flights on day %lld route %lld:",
+                static_cast<long long>(day), static_cast<long long>(route));
+    size_t n = engine->Access(Tuple{day, route},
+                              [](const Tuple& t, const int64_t&) {
+                                std::printf(" %lld",
+                                            static_cast<long long>(t[0]));
+                              });
+    std::printf(n == 0 ? " (none)\n" : "\n");
+  };
+  show(5, kZrhCdg);
+  engine->Update("Schedule", Tuple{101, 5, kZrhCdg}, -1);  // cancelled
+  std::printf("after cancelling flight 101:\n");
+  show(5, kZrhCdg);
+  engine->Update("Active", Tuple{kCdgZrh}, -1);  // route suspended
+  std::printf("after suspending route %lld:\n",
+              static_cast<long long>(kCdgZrh));
+  show(5, kCdgZrh);
+
+  // The intractable variant: seats as a second output.
+  CqapQuery with_seats = CqapQuery::Make(
+      "flights_seats", Schema{kDay, kRoute}, Schema{kFlight, kSeats},
+      {Atom{"Schedule", Schema{kFlight, kDay, kRoute}},
+       Atom{"Seats", Schema{kFlight, kSeats}}});
+  std::printf("\nvariant with seat output tractable: %s (engine: %s)\n",
+              IsTractableCqap(with_seats) ? "yes" : "no",
+              CqapEngine<IntRing>::Make(with_seats).ok() ? "accepted"
+                                                         : "rejected");
+
+  // ---- Part 2: triangle detection with all-input access ----
+  CqapQuery tri = CqapQuery::Make(
+      "tri", Schema{kA, kB, kC}, Schema{},
+      {Atom{"E", Schema{kA, kB}}, Atom{"E", Schema{kB, kC}},
+       Atom{"E", Schema{kC, kA}}});
+  auto tri_engine = CqapEngine<IntRing>::Make(tri);
+  std::printf("\ntriangle detection tractable: %s\n",
+              tri_engine.ok() ? "yes" : "no");
+  tri_engine->Update("E", Tuple{1, 2}, 1);
+  tri_engine->Update("E", Tuple{2, 3}, 1);
+  tri_engine->Update("E", Tuple{3, 1}, 1);
+  std::printf("follow-cycle 1->2->3->1: %s\n",
+              tri_engine->Check(Tuple{1, 2, 3}) ? "yes" : "no");
+  std::printf("follow-cycle 2->1->3->2: %s\n",
+              tri_engine->Check(Tuple{2, 1, 3}) ? "yes" : "no");
+  return 0;
+}

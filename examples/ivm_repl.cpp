@@ -1,0 +1,232 @@
+// An interactive IVM shell: define a query, stream updates, and read the
+// maintained output — the whole library behind a six-command language.
+// Runs a scripted demo session when stdin is not a terminal or on EOF.
+//
+//   query Q(A, B) = R(A, B), S(B)        define + classify + build engine
+//   +R 1 2          / +R 1 2 x3          insert (with multiplicity)
+//   -R 1 2                               delete
+//   enum                                 enumerate the current output
+//   agg                                  the full aggregate (count)
+//   classify                             structural report for the query
+//   help / quit
+//
+// Values may be integers or identifiers (interned via Dictionary).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "incr/core/view_tree.h"
+#include "incr/query/parser.h"
+#include "incr/query/properties.h"
+#include "incr/ring/int_ring.h"
+
+using namespace incr;
+
+namespace {
+
+struct Session {
+  VarRegistry vars;
+  Dictionary dict;
+  std::optional<Query> query;
+  std::optional<ViewTree<IntRing>> tree;
+
+  Value ParseValue(const std::string& tok) {
+    char* end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end != tok.c_str() && *end == '\0') return v;
+    // Intern non-numeric tokens; offset to keep them apart from small ints.
+    return 1'000'000'000 + dict.Intern(tok);
+  }
+
+  std::string RenderValue(Value v) {
+    if (v >= 1'000'000'000) {
+      const std::string* s = dict.Lookup(v - 1'000'000'000);
+      if (s != nullptr) return *s;
+    }
+    return std::to_string(v);
+  }
+
+  void Classify() {
+    if (!query) {
+      std::printf("no query defined\n");
+      return;
+    }
+    std::printf("  %s\n", query->ToString(vars).c_str());
+    std::printf("  hierarchical:    %s\n",
+                IsHierarchical(*query) ? "yes" : "no");
+    std::printf("  q-hierarchical:  %s\n",
+                IsQHierarchical(*query) ? "yes" : "no");
+    std::printf("  alpha-acyclic:   %s\n",
+                IsAlphaAcyclic(*query) ? "yes" : "no");
+    std::printf("  free-connex:     %s\n",
+                IsFreeConnex(*query) ? "yes" : "no");
+    if (tree) {
+      std::printf("  O(1) updates:    %s\n",
+                  tree->plan().AllProgramsConstantTime() ? "yes" : "no");
+      std::printf("  O(1) delay enum: %s\n",
+                  tree->plan().CanEnumerate().ok() ? "yes" : "no");
+    }
+  }
+
+  void Define(const std::string& text) {
+    auto q = ParseQuery(text, &vars);
+    if (!q.ok()) {
+      std::printf("error: %s\n", q.status().ToString().c_str());
+      return;
+    }
+    StatusOr<ViewTree<IntRing>> t =
+        IsHierarchical(*q)
+            ? ViewTree<IntRing>::Make(*q)
+            : [&]() -> StatusOr<ViewTree<IntRing>> {
+                // Fall back to a path order over all variables.
+                Schema all = q->AllVars();
+                auto vo = VariableOrder::FromPath(
+                    *q, std::vector<Var>(all.begin(), all.end()));
+                if (!vo.ok()) return vo.status();
+                return ViewTree<IntRing>::Make(*q, *std::move(vo));
+              }();
+    if (!t.ok()) {
+      std::printf("error: %s\n", t.status().ToString().c_str());
+      return;
+    }
+    query = *std::move(q);
+    tree = *std::move(t);
+    Classify();
+  }
+
+  void Update(const std::string& line, int64_t sign) {
+    if (!tree) {
+      std::printf("define a query first\n");
+      return;
+    }
+    std::istringstream in(line);
+    std::string rel, tok;
+    in >> rel;
+    Tuple t;
+    int64_t mult = 1;
+    while (in >> tok) {
+      if (tok.size() > 1 && tok[0] == 'x') {
+        char* end = nullptr;
+        long long m = std::strtoll(tok.c_str() + 1, &end, 10);
+        if (end != tok.c_str() + 1 && *end == '\0') {
+          mult = m;
+          continue;
+        }
+      }
+      t.push_back(ParseValue(tok));
+    }
+    bool known = false;
+    for (const Atom& a : query->atoms()) {
+      if (a.relation == rel) {
+        known = true;
+        if (a.schema.size() != t.size()) {
+          std::printf("arity mismatch: %s has %zu columns\n", rel.c_str(),
+                      a.schema.size());
+          return;
+        }
+      }
+    }
+    if (!known) {
+      std::printf("unknown relation '%s'\n", rel.c_str());
+      return;
+    }
+    tree->Update(rel, t, sign * mult);
+    std::printf("ok (aggregate = %lld)\n",
+                static_cast<long long>(tree->Aggregate()));
+  }
+
+  void Enumerate() {
+    if (!tree) {
+      std::printf("define a query first\n");
+      return;
+    }
+    if (!tree->plan().CanEnumerate().ok()) {
+      std::printf("output is not enumerable with this plan (%s); agg is "
+                  "still maintained\n",
+                  tree->plan().CanEnumerate().ToString().c_str());
+      return;
+    }
+    Schema out = tree->OutputSchema();
+    std::string header;
+    for (Var v : out) header += vars.Name(v) + " ";
+    std::printf("  %s-> payload\n", header.c_str());
+    size_t n = 0;
+    for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
+      Tuple t = it.tuple();
+      std::string row;
+      for (Value v : t) row += RenderValue(v) + " ";
+      std::printf("  %s-> %lld\n", row.c_str(),
+                  static_cast<long long>(it.payload()));
+      if (++n >= 50) {
+        std::printf("  ... (output truncated at 50 rows)\n");
+        break;
+      }
+    }
+    std::printf("  (%zu row(s) shown)\n", n);
+  }
+
+  bool Handle(const std::string& line) {
+    if (line.empty()) return true;
+    if (line == "quit" || line == "exit") return false;
+    if (line == "help") {
+      std::printf("commands: query <def> | +Rel v1 v2 [xN] | -Rel v1 v2 | "
+                  "enum | agg | classify | quit\n");
+    } else if (line.rfind("query ", 0) == 0) {
+      Define(line.substr(6));
+    } else if (line[0] == '+') {
+      Update(line.substr(1), +1);
+    } else if (line[0] == '-') {
+      Update(line.substr(1), -1);
+    } else if (line == "enum") {
+      Enumerate();
+    } else if (line == "agg") {
+      if (tree) {
+        std::printf("%lld\n", static_cast<long long>(tree->Aggregate()));
+      }
+    } else if (line == "classify") {
+      Classify();
+    } else {
+      std::printf("unrecognized; try 'help'\n");
+    }
+    return true;
+  }
+};
+
+const char* kDemoScript[] = {
+    "query Q(who, dept) = Emp(who, dept), Dept(dept)",
+    "classify",
+    "+Emp alice eng",
+    "+Emp bob eng",
+    "+Emp carol sales",
+    "+Dept eng",
+    "enum",
+    "+Dept sales",
+    "enum",
+    "-Emp bob eng",
+    "enum",
+    "agg",
+    "quit",
+};
+
+}  // namespace
+
+int main() {
+  Session session;
+  std::printf("incr shell — 'help' for commands\n");
+  std::string line;
+  size_t demo_idx = 0;
+  for (;;) {
+    std::printf("ivm> ");
+    if (!std::getline(std::cin, line)) {
+      // No interactive input: run the scripted demo session.
+      if (demo_idx >= sizeof(kDemoScript) / sizeof(kDemoScript[0])) break;
+      line = kDemoScript[demo_idx++];
+      std::printf("%s\n", line.c_str());
+    }
+    if (!session.Handle(line)) break;
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "incr/constraints/fk.h"
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+void FkConsistencyTracker::OnUpdate(const std::string& rel, const Tuple& t,
+                                    int64_t m) {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FkSpec& spec = specs_[i];
+    FkState& st = state_[i];
+    if (rel == spec.child_rel) {
+      Value v = t[spec.child_col];
+      int64_t& cnt = st.child_count.GetOrInsert(v, 0);
+      cnt += m;
+      INCR_DCHECK(cnt >= 0);
+      const int64_t* pc = st.parent_count.Find(v);
+      if (pc == nullptr || *pc <= 0) violations_ += m;
+      if (cnt == 0) st.child_count.Erase(v);
+    }
+    if (rel == spec.parent_rel) {
+      Value v = t[spec.parent_col];
+      int64_t& cnt = st.parent_count.GetOrInsert(v, 0);
+      bool was_present = cnt > 0;
+      cnt += m;
+      INCR_DCHECK(cnt >= 0);
+      bool present = cnt > 0;
+      if (was_present != present) {
+        const int64_t* cc = st.child_count.Find(v);
+        int64_t dangling = cc == nullptr ? 0 : *cc;
+        violations_ += present ? -dangling : dangling;
+      }
+      if (cnt == 0) st.parent_count.Erase(v);
+    }
+  }
+}
+
+}  // namespace incr

@@ -1,0 +1,612 @@
+// ViewTree<R>: the materialized view tree engine (paper §4.1) over a ring R.
+//
+// Holds the base relation of every atom plus, per variable-order node X, the
+// views W_X and M_X described in view_tree_plan.h. Supports:
+//
+//   * single-tuple updates with bottom-up delta propagation — O(1) per
+//     update for q-hierarchical queries under their canonical order
+//     (Thm. 4.1), group-scan fallbacks otherwise;
+//   * lifting functions per variable (SUM(g(X)) aggregates, the in-DB ML
+//     rings of §6);
+//   * O(|D|) bulk Rebuild() from loaded base relations (preprocessing);
+//   * constant-delay enumeration of the factorized output, with optional
+//     bindings (used for CQAP access requests (§4.3) and for delta
+//     enumeration in the eager-list strategy).
+//
+// Enumeration correctness relies on non-zero view payloads implying joining
+// subtrees below, which holds for rings without zero divisors (Z, reals,
+// Boolean) or for databases whose payloads stay "positive" (valid databases
+// in the paper's sense).
+#ifndef INCR_CORE_VIEW_TREE_H_
+#define INCR_CORE_VIEW_TREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "incr/core/view_tree_plan.h"
+#include "incr/data/relation.h"
+#include "incr/ring/ring.h"
+#include "incr/util/check.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+template <RingType R>
+class ViewTreeEnumerator;
+
+/// Binding of some free variables to fixed values (CQAP access requests,
+/// delta enumeration). Unbound output variables are iterated.
+struct Binding {
+  SmallVector<Var, 4> vars;
+  Tuple values;
+
+  void Bind(Var v, Value val) {
+    vars.push_back(v);
+    values.push_back(val);
+  }
+};
+
+template <RingType R>
+class ViewTree {
+ public:
+  using RV = typename R::Value;
+  /// Lifting function g_X: maps an X-value to a ring element (paper §2).
+  using Lift = std::function<RV(Value)>;
+
+  /// Builds an engine over an already-compiled plan.
+  explicit ViewTree(ViewTreePlan plan) : plan_(std::move(plan)) {
+    const Query& q = plan_.query();
+    atoms_.reserve(q.atoms().size());
+    for (size_t a = 0; a < q.atoms().size(); ++a) {
+      atoms_.push_back(std::make_unique<Relation<R>>(q.atoms()[a].schema));
+      for (const Schema& key : plan_.atom_indexes()[a]) {
+        atoms_.back()->AddIndex(key);
+      }
+    }
+    const auto& nodes = plan_.nodes();
+    lifts_.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      w_.push_back(std::make_unique<Relation<R>>(nodes[i].w_schema));
+      w_.back()->AddIndex(nodes[i].key);  // index 0: group by key
+      m_.push_back(std::make_unique<Relation<R>>(nodes[i].key));
+      for (const Schema& key : plan_.m_indexes()[i]) {
+        m_.back()->AddIndex(key);
+      }
+    }
+  }
+
+  /// Convenience: canonical variable order (hierarchical queries).
+  static StatusOr<ViewTree> Make(const Query& q) {
+    auto vo = VariableOrder::Canonical(q);
+    if (!vo.ok()) return vo.status();
+    return Make(q, *std::move(vo));
+  }
+
+  static StatusOr<ViewTree> Make(const Query& q, VariableOrder vo) {
+    auto plan = ViewTreePlan::Make(q, vo);
+    if (!plan.ok()) return plan.status();
+    return ViewTree(*std::move(plan));
+  }
+
+  const ViewTreePlan& plan() const { return plan_; }
+  const Query& query() const { return plan_.query(); }
+
+  /// Sets the lifting function of variable `v`. Must be called while the
+  /// tree is empty (lifted values are baked into the M views).
+  void SetLifting(Var v, Lift fn) {
+    int n = plan_.vo().NodeOf(v);
+    INCR_CHECK(n >= 0);
+    INCR_CHECK(m_[static_cast<size_t>(n)]->empty());
+    lifts_[static_cast<size_t>(n)] = std::move(fn);
+  }
+
+  /// Applies a single-tuple delta to atom `atom_id` and propagates it.
+  void UpdateAtom(size_t atom_id, const Tuple& t, const RV& d) {
+    if (R::IsZero(d)) return;
+    atoms_[atom_id]->Apply(t, d);
+    int node = plan_.atom_node()[atom_id];
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    for (size_t k = 0; k < pn.atoms.size(); ++k) {
+      if (pn.atoms[k] == atom_id) {
+        ProcessDelta(node, pn.atom_programs[k], t, d);
+        return;
+      }
+    }
+    INCR_CHECK(false);
+  }
+
+  /// Applies a delta to every atom with relation name `rel` (self-joins get
+  /// one sequential delta per occurrence, which realizes the product rule
+  /// of Eq. (2)).
+  void Update(const std::string& rel, const Tuple& t, const RV& d) {
+    bool found = false;
+    for (size_t a = 0; a < query().atoms().size(); ++a) {
+      if (query().atoms()[a].relation == rel) {
+        UpdateAtom(a, t, d);
+        found = true;
+      }
+    }
+    INCR_CHECK(found);
+  }
+
+  /// A batch of single-tuple deltas. Because payloads live in a ring,
+  /// batches commute: applying any permutation of a batch yields the same
+  /// state (paper §2's optimization benefit).
+  struct BatchEntry {
+    size_t atom;
+    Tuple tuple;
+    RV delta;
+  };
+
+  void ApplyBatch(const std::vector<BatchEntry>& batch) {
+    for (const BatchEntry& e : batch) UpdateAtom(e.atom, e.tuple, e.delta);
+  }
+
+  /// Delta enumeration (paper §1, footnote 2): applies the update and
+  /// reports the change to the *output*: sink(tuple, old_payload,
+  /// new_payload) for every output tuple whose payload changed (including
+  /// appearing/disappearing tuples, with the respective payload Zero).
+  /// Requires an enumerable plan. Cost is proportional to the number of
+  /// output tuples agreeing with the update on the atom's free variables.
+  void UpdateAtomWithDeltaEnum(
+      size_t atom_id, const Tuple& t, const RV& d,
+      const std::function<void(const Tuple&, const RV& /*old*/,
+                               const RV& /*new*/)>& sink) {
+    INCR_CHECK(plan_.CanEnumerate().ok());
+    Binding binding;
+    const Schema& s = query().atoms()[atom_id].schema;
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (query().IsFree(s[i])) binding.Bind(s[i], t[i]);
+    }
+    // Old payloads of potentially affected tuples.
+    DenseMap<Tuple, RV, TupleHash, TupleEq> old;
+    for (ViewTreeEnumerator<R> it(*this, binding); it.Valid(); it.Next()) {
+      old.GetOrInsert(it.tuple(), it.payload());
+    }
+    UpdateAtom(atom_id, t, d);
+    for (ViewTreeEnumerator<R> it(*this, binding); it.Valid(); it.Next()) {
+      Tuple out = it.tuple();
+      RV now = it.payload();
+      const RV* before = old.Find(out);
+      if (before == nullptr) {
+        sink(out, R::Zero(), now);
+      } else {
+        if (!R::IsZero(R::Add(now, R::Neg(*before)))) {
+          sink(out, *before, now);
+        }
+        old.Erase(out);
+      }
+    }
+    // Tuples that disappeared from the output.
+    for (const auto& e : old) sink(e.key, e.value, R::Zero());
+  }
+
+  /// Loads a tuple into an atom's base relation without propagation; pair
+  /// with Rebuild() for O(|D|)-style bulk preprocessing.
+  void LoadAtom(size_t atom_id, const Tuple& t, const RV& d) {
+    atoms_[atom_id]->Apply(t, d);
+  }
+
+  /// Rebuilds every view bottom-up from the base relations.
+  void Rebuild() {
+    for (auto& w : w_) w->Clear();
+    for (auto& m : m_) m->Clear();
+    // Children before parents: reverse preorder visits leaves first.
+    const auto& pre = plan_.vo().preorder();
+    for (size_t k = pre.size(); k-- > 0;) {
+      BuildNode(pre[k]);
+    }
+  }
+
+  /// Product over root nodes of M_root(()): the full aggregate of the query
+  /// with every variable (free ones included) marginalized.
+  RV Aggregate() const {
+    RV acc = R::One();
+    for (int r : plan_.roots()) {
+      acc = R::Mul(acc, m_[static_cast<size_t>(r)]->Payload(Tuple{}));
+    }
+    return acc;
+  }
+
+  const Relation<R>& AtomRelation(size_t atom_id) const {
+    return *atoms_[atom_id];
+  }
+  const Relation<R>& NodeW(int node) const {
+    return *w_[static_cast<size_t>(node)];
+  }
+  const Relation<R>& NodeM(int node) const {
+    return *m_[static_cast<size_t>(node)];
+  }
+
+  /// The output schema: free variables in enumeration (preorder) order.
+  Schema OutputSchema() const {
+    Schema out;
+    for (int n : plan_.enum_nodes()) {
+      out.push_back(plan_.nodes()[static_cast<size_t>(n)].var);
+    }
+    return out;
+  }
+
+  /// Payload Q(t) of an output tuple over OutputSchema(): the product, over
+  /// free nodes, of the anchored atoms' payloads and the bound children's
+  /// marginalizations, times the M of fully-bound root trees.
+  RV OutputPayload(const Tuple& t) const;
+
+  friend class ViewTreeEnumerator<R>;
+
+ private:
+  const Relation<R>& FactorStorage(const FactorRef& f) const {
+    if (f.kind == FactorRef::kAtom) return *atoms_[f.index];
+    return *m_[f.index];
+  }
+
+  /// Runs `prog` for a single source delta, emitting W-delta tuples.
+  void RunProgram(const DeltaProgram& prog, const Tuple& src, const RV& d,
+                  const Schema& w_schema,
+                  std::vector<std::pair<Tuple, RV>>* out) const {
+    Tuple assign;
+    assign.resize(w_schema.size(), 0);
+    for (size_t i = 0; i < prog.source_slots.size(); ++i) {
+      assign[prog.source_slots[i]] = src[i];
+    }
+    RunSteps(prog, 0, assign, d, out);
+  }
+
+  void RunSteps(const DeltaProgram& prog, size_t step_idx, Tuple& assign,
+                const RV& acc, std::vector<std::pair<Tuple, RV>>* out) const {
+    if (R::IsZero(acc)) return;
+    if (step_idx == prog.steps.size()) {
+      out->emplace_back(assign, acc);
+      return;
+    }
+    const JoinStep& step = prog.steps[step_idx];
+    const Relation<R>& storage = FactorStorage(step.factor);
+    if (step.full_key) {
+      Tuple probe;
+      probe.resize(step.bound_cols.size(), 0);
+      // bound_cols are in factor-schema order and cover the whole schema.
+      for (size_t i = 0; i < step.bound_cols.size(); ++i) {
+        probe[step.bound_cols[i]] = assign[step.bound_slots[i]];
+      }
+      RV payload = storage.Payload(probe);
+      RunSteps(prog, step_idx + 1, assign, R::Mul(acc, payload), out);
+      return;
+    }
+    Tuple probe;
+    probe.reserve(step.bound_cols.size());
+    for (size_t i = 0; i < step.bound_cols.size(); ++i) {
+      probe.push_back(assign[step.bound_slots[i]]);
+    }
+    const auto* group = storage.index(step.index_slot).Group(probe);
+    if (group == nullptr) return;
+    for (const Tuple& t : *group) {
+      for (size_t i = 0; i < step.new_cols.size(); ++i) {
+        assign[step.new_slots[i]] = t[step.new_cols[i]];
+      }
+      RunSteps(prog, step_idx + 1, assign,
+               R::Mul(acc, storage.Payload(t)), out);
+    }
+  }
+
+  const DeltaProgram* UpProgram(int node) const {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    if (pn.parent == -1) return nullptr;
+    const PlanNode& parent = plan_.nodes()[static_cast<size_t>(pn.parent)];
+    for (size_t k = 0; k < parent.children.size(); ++k) {
+      if (parent.children[k] == node) return &parent.child_programs[k];
+    }
+    INCR_CHECK(false);
+    return nullptr;
+  }
+
+  /// Applies a source delta at `node`, updates W and M, recurses upward.
+  void ProcessDelta(int node, const DeltaProgram& prog, const Tuple& src,
+                    const RV& d) {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    std::vector<std::pair<Tuple, RV>> w_deltas;
+    RunProgram(prog, src, d, pn.w_schema, &w_deltas);
+    if (w_deltas.empty()) return;
+
+    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    Relation<R>& m = *m_[static_cast<size_t>(node)];
+    const Lift& lift = lifts_[static_cast<size_t>(node)];
+    const DeltaProgram* up = UpProgram(node);
+
+    // Fast path for the common case (q-hierarchical single-tuple update):
+    // one W delta yields one M delta, no grouping map needed.
+    if (w_deltas.size() == 1) {
+      const auto& [wt, wd] = w_deltas[0];
+      w.Apply(wt, wd);
+      Tuple key(wt.data(), pn.key.size());
+      RV lifted = lift ? R::Mul(wd, lift(wt.back())) : wd;
+      if (R::IsZero(lifted)) return;
+      m.Apply(key, lifted);
+      if (up != nullptr) ProcessDelta(pn.parent, *up, key, lifted);
+      return;
+    }
+
+    // General path: aggregate W deltas into grouped M deltas.
+    Relation<R> m_delta(pn.key);
+    for (auto& [wt, wd] : w_deltas) {
+      w.Apply(wt, wd);
+      Tuple key(wt.data(), pn.key.size());
+      m_delta.Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+    }
+    for (const auto& e : m_delta) {
+      m.Apply(e.key, e.value);
+      if (up != nullptr) ProcessDelta(pn.parent, *up, e.key, e.value);
+    }
+  }
+
+  /// Bulk-builds W and M of one node, assuming its children are built. Uses
+  /// the node's first factor program: scan that factor, run the join.
+  void BuildNode(int node) {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    const DeltaProgram* prog = nullptr;
+    const Relation<R>* scan = nullptr;
+    if (!pn.atoms.empty()) {
+      prog = &pn.atom_programs[0];
+      scan = atoms_[pn.atoms[0]].get();
+    } else {
+      INCR_CHECK(!pn.children.empty());
+      prog = &pn.child_programs[0];
+      scan = m_[static_cast<size_t>(pn.children[0])].get();
+    }
+    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    Relation<R>& m = *m_[static_cast<size_t>(node)];
+    const Lift& lift = lifts_[static_cast<size_t>(node)];
+    std::vector<std::pair<Tuple, RV>> w_deltas;
+    for (const auto& e : *scan) {
+      w_deltas.clear();
+      RunProgram(*prog, e.key, e.value, pn.w_schema, &w_deltas);
+      for (auto& [wt, wd] : w_deltas) {
+        w.Apply(wt, wd);
+        Tuple key(wt.data(), pn.key.size());
+        m.Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+      }
+    }
+  }
+
+  ViewTreePlan plan_;
+  std::vector<std::unique_ptr<Relation<R>>> atoms_;
+  std::vector<std::unique_ptr<Relation<R>>> w_;
+  std::vector<std::unique_ptr<Relation<R>>> m_;
+  std::vector<Lift> lifts_;
+};
+
+// ----------------------------------------------------------------------
+// Enumeration
+
+/// Constant-delay iterator over the factorized query output (RocksDB
+/// iterator style: while (it.Valid()) { use it.tuple(); it.Next(); }).
+///
+/// Constant delay holds when the plan's CanEnumerate() is OK and bindings
+/// (if any) bind a prefix of each tree's root path; other bindings still
+/// enumerate correctly but may skip over dead branches.
+template <RingType R>
+class ViewTreeEnumerator {
+ public:
+  using RV = typename R::Value;
+
+  explicit ViewTreeEnumerator(const ViewTree<R>& tree)
+      : ViewTreeEnumerator(tree, Binding{}) {}
+
+  ViewTreeEnumerator(const ViewTree<R>& tree, Binding binding)
+      : tree_(&tree) {
+    const auto& plan = tree.plan_;
+    INCR_CHECK(plan.CanEnumerate().ok());
+    const auto& enum_nodes = plan.enum_nodes();
+    states_.resize(enum_nodes.size());
+    for (size_t i = 0; i < enum_nodes.size(); ++i) {
+      NodeState& st = states_[i];
+      st.node = enum_nodes[i];
+      const PlanNode& pn = plan.nodes()[static_cast<size_t>(st.node)];
+      // Key values come from earlier enum nodes (ancestors are free and
+      // precede this node in preorder).
+      for (Var kv : pn.key) {
+        int src = -1;
+        for (size_t j = 0; j < i; ++j) {
+          if (plan.nodes()[static_cast<size_t>(enum_nodes[j])].var == kv) {
+            src = static_cast<int>(j);
+            break;
+          }
+        }
+        INCR_CHECK(src >= 0);
+        st.key_sources.push_back(static_cast<uint32_t>(src));
+      }
+      for (size_t b = 0; b < binding.vars.size(); ++b) {
+        if (binding.vars[b] == pn.var) {
+          st.bound = true;
+          st.bound_value = binding.values[b];
+        }
+      }
+    }
+    // Fully bound trees (no free node) contribute only to payload; they can
+    // also make the whole output empty when their aggregate is zero.
+    for (int r : plan.roots()) {
+      if (!plan.nodes()[static_cast<size_t>(r)].free &&
+          R::IsZero(tree.NodeM(r).Payload(Tuple{}))) {
+        empty_ = true;
+      }
+    }
+    if (empty_) return;
+    if (states_.empty()) {
+      single_empty_ = true;  // zero free variables: one empty output tuple
+      return;
+    }
+    FindSolutionFrom(0);
+  }
+
+  bool Valid() const {
+    if (empty_) return false;
+    if (states_.empty()) return single_empty_;
+    return valid_;
+  }
+
+  void Next() {
+    INCR_DCHECK(Valid());
+    if (states_.empty()) {
+      single_empty_ = false;
+      return;
+    }
+    size_t j = states_.size() - 1;
+    for (;;) {
+      if (TryNext(j)) {
+        FindSolutionFrom(j + 1);
+        return;
+      }
+      if (j == 0) {
+        valid_ = false;
+        return;
+      }
+      --j;
+    }
+  }
+
+  /// Current output tuple over the tree's OutputSchema().
+  Tuple tuple() const {
+    INCR_DCHECK(Valid());
+    Tuple out;
+    out.reserve(states_.size());
+    for (const NodeState& st : states_) out.push_back(st.current);
+    return out;
+  }
+
+  /// Q(tuple()): computed from base payloads in O(|Q|).
+  RV payload() const { return tree_->OutputPayload(tuple()); }
+
+ private:
+  struct NodeState {
+    int node = -1;
+    SmallVector<uint32_t, 4> key_sources;  // positions of key vars among
+                                           // earlier enum nodes
+    bool bound = false;
+    Value bound_value = 0;
+    // Iteration state.
+    const std::vector<Tuple>* group = nullptr;
+    size_t pos = 0;
+    Value current = 0;
+  };
+
+  Tuple KeyOf(size_t i) const {
+    const NodeState& st = states_[i];
+    Tuple key;
+    key.reserve(st.key_sources.size());
+    for (uint32_t src : st.key_sources) {
+      key.push_back(states_[src].current);
+    }
+    return key;
+  }
+
+  /// Positions node i at its first candidate for the current key values of
+  /// earlier nodes. Returns false if it has none.
+  bool TryFirst(size_t i) {
+    NodeState& st = states_[i];
+    Tuple key = KeyOf(i);
+    const Relation<R>& w = tree_->NodeW(st.node);
+    if (st.bound) {
+      Tuple probe = key;
+      probe.push_back(st.bound_value);
+      if (!w.Contains(probe)) return false;
+      st.group = nullptr;
+      st.current = st.bound_value;
+      return true;
+    }
+    st.group = w.index(0).Group(key);
+    if (st.group == nullptr) return false;
+    st.pos = 0;
+    st.current = (*st.group)[0].back();
+    return true;
+  }
+
+  /// Moves node i to its next candidate under the same key, if any.
+  bool TryNext(size_t i) {
+    NodeState& st = states_[i];
+    if (st.bound || st.group == nullptr) return false;
+    if (st.pos + 1 >= st.group->size()) return false;
+    ++st.pos;
+    st.current = (*st.group)[st.pos].back();
+    return true;
+  }
+
+  /// Iterative odometer: positions nodes i.. at the first solution, moving
+  /// earlier nodes forward when a node has no candidate.
+  void FindSolutionFrom(size_t i) {
+    for (;;) {
+      if (i == states_.size()) {
+        valid_ = true;
+        return;
+      }
+      if (TryFirst(i)) {
+        ++i;
+        continue;
+      }
+      // No candidate at i: advance the deepest earlier node that can move.
+      size_t j = i;
+      for (;;) {
+        if (j == 0) {
+          valid_ = false;
+          return;
+        }
+        --j;
+        if (TryNext(j)) break;
+      }
+      i = j + 1;
+    }
+  }
+
+  const ViewTree<R>* tree_;
+  std::vector<NodeState> states_;
+  bool valid_ = false;
+  bool empty_ = false;
+  bool single_empty_ = false;
+};
+
+template <RingType R>
+typename R::Value ViewTree<R>::OutputPayload(const Tuple& t) const {
+  const auto& enum_nodes = plan_.enum_nodes();
+  INCR_DCHECK(t.size() == enum_nodes.size());
+  RV acc = R::One();
+  // Value of a free variable by node id.
+  auto value_of = [&](Var v) -> Value {
+    for (size_t i = 0; i < enum_nodes.size(); ++i) {
+      if (plan_.nodes()[static_cast<size_t>(enum_nodes[i])].var == v) {
+        return t[i];
+      }
+    }
+    INCR_CHECK(false);
+    return 0;
+  };
+  for (size_t i = 0; i < enum_nodes.size(); ++i) {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(enum_nodes[i])];
+    for (size_t a : pn.atoms) {
+      const Schema& s = query().atoms()[a].schema;
+      Tuple probe;
+      probe.reserve(s.size());
+      for (Var v : s) probe.push_back(value_of(v));
+      acc = R::Mul(acc, atoms_[a]->Payload(probe));
+    }
+    for (int c : pn.children) {
+      const PlanNode& child = plan_.nodes()[static_cast<size_t>(c)];
+      if (child.free) continue;  // free children contribute their own term
+      Tuple probe;
+      probe.reserve(child.key.size());
+      for (Var v : child.key) probe.push_back(value_of(v));
+      acc = R::Mul(acc, m_[static_cast<size_t>(c)]->Payload(probe));
+    }
+  }
+  // Fully bound trees contribute their scalar aggregate.
+  for (int r : plan_.roots()) {
+    if (!plan_.nodes()[static_cast<size_t>(r)].free) {
+      acc = R::Mul(acc, m_[static_cast<size_t>(r)]->Payload(Tuple{}));
+    }
+  }
+  return acc;
+}
+
+}  // namespace incr
+
+#endif  // INCR_CORE_VIEW_TREE_H_

@@ -1,0 +1,227 @@
+#include "incr/core/view_tree_plan.h"
+
+#include <algorithm>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+Schema ViewTreePlan::FactorSchema(const FactorRef& f) const {
+  if (f.kind == FactorRef::kAtom) return query_.atoms()[f.index].schema;
+  return nodes_[f.index].key;  // a child's M has schema key(child)
+}
+
+size_t ViewTreePlan::RequireIndex(FactorRef factor, const Schema& key) {
+  IndexRequirements& reqs = factor.kind == FactorRef::kAtom
+                                ? atom_indexes_[factor.index]
+                                : m_indexes_[factor.index];
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (reqs[i] == key) return i;
+  }
+  reqs.push_back(key);
+  return reqs.size() - 1;
+}
+
+DeltaProgram ViewTreePlan::CompileProgram(const PlanNode& node,
+                                          FactorRef source) {
+  DeltaProgram prog;
+  prog.source = source;
+
+  // Slot of each variable in W's schema (key..., var).
+  auto slot_of = [&](Var v) -> int {
+    auto pos = FindVar(node.w_schema, v);
+    return pos.has_value() ? static_cast<int>(*pos) : -1;
+  };
+
+  Schema src_schema = FactorSchema(source);
+  SmallVector<bool, 8> known;
+  known.resize(node.w_schema.size(), false);
+  for (Var v : src_schema) {
+    int s = slot_of(v);
+    INCR_CHECK(s >= 0);
+    prog.source_slots.push_back(static_cast<uint32_t>(s));
+    known[static_cast<size_t>(s)] = true;
+  }
+
+  // Remaining factors: the node's other atoms and other children.
+  std::vector<FactorRef> rest;
+  for (size_t ai : node.atoms) {
+    if (!(source.kind == FactorRef::kAtom && source.index == ai)) {
+      rest.push_back(FactorRef{FactorRef::kAtom, ai});
+    }
+  }
+  for (int c : node.children) {
+    if (!(source.kind == FactorRef::kChild &&
+          source.index == static_cast<size_t>(c))) {
+      rest.push_back(FactorRef{FactorRef::kChild, static_cast<size_t>(c)});
+    }
+  }
+
+  // Greedy ordering: at each point, prefer a factor with every column
+  // bound (pure lookup); otherwise the factor with the most bound columns
+  // (the tightest group scan).
+  while (!rest.empty()) {
+    size_t best = 0;
+    int best_score = -1;
+    bool best_full = false;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      Schema fs = FactorSchema(rest[i]);
+      int bound = 0;
+      for (Var v : fs) {
+        if (known[static_cast<size_t>(slot_of(v))]) ++bound;
+      }
+      bool full = bound == static_cast<int>(fs.size());
+      if ((full && !best_full) ||
+          (full == best_full && bound > best_score)) {
+        best = i;
+        best_score = bound;
+        best_full = full;
+      }
+    }
+    FactorRef f = rest[best];
+    rest.erase(rest.begin() + static_cast<long>(best));
+
+    JoinStep step;
+    step.factor = f;
+    Schema fs = FactorSchema(f);
+    Schema bound_key;
+    for (uint32_t col = 0; col < fs.size(); ++col) {
+      int s = slot_of(fs[col]);
+      INCR_CHECK(s >= 0);
+      if (known[static_cast<size_t>(s)]) {
+        step.bound_cols.push_back(col);
+        step.bound_slots.push_back(static_cast<uint32_t>(s));
+        bound_key.push_back(fs[col]);
+      } else {
+        step.new_cols.push_back(col);
+        step.new_slots.push_back(static_cast<uint32_t>(s));
+      }
+    }
+    step.full_key = step.new_cols.empty();
+    if (!step.full_key) {
+      step.index_slot = RequireIndex(f, bound_key);
+      prog.constant_time = false;
+      for (uint32_t s : step.new_slots) known[s] = true;
+    }
+    prog.steps.push_back(step);
+  }
+
+  // Every W-schema variable must now be bound.
+  for (size_t s = 0; s < node.w_schema.size(); ++s) {
+    INCR_CHECK(known[s]);
+  }
+  return prog;
+}
+
+StatusOr<ViewTreePlan> ViewTreePlan::Make(const Query& q,
+                                          const VariableOrder& vo) {
+  // Repeated variables within one atom (R(A,A)) would need equality checks
+  // the compiled probes do not emit; reject them up front.
+  for (const Atom& a : q.atoms()) {
+    for (size_t i = 0; i < a.schema.size(); ++i) {
+      for (size_t j = i + 1; j < a.schema.size(); ++j) {
+        if (a.schema[i] == a.schema[j]) {
+          return Status::InvalidArgument(
+              "atom " + a.relation +
+              " repeats a variable; rewrite with an explicit equality "
+              "self-join first");
+        }
+      }
+    }
+  }
+  ViewTreePlan plan;
+  plan.query_ = q;
+  plan.vo_ = vo;
+  plan.atom_indexes_.resize(q.atoms().size());
+  plan.m_indexes_.resize(vo.nodes().size());
+  plan.atom_node_.assign(q.atoms().size(), -1);
+
+  plan.nodes_.resize(vo.nodes().size());
+  for (size_t i = 0; i < vo.nodes().size(); ++i) {
+    const VoNode& vn = vo.nodes()[i];
+    PlanNode& pn = plan.nodes_[i];
+    pn.var = vn.var;
+    pn.parent = vn.parent;
+    pn.children = vn.children;
+    pn.atoms = vn.atoms;
+    pn.free = vn.free;
+    pn.key = vn.key;
+    pn.w_schema = vn.key;
+    pn.w_schema.push_back(vn.var);
+    for (size_t ai : vn.atoms) plan.atom_node_[ai] = static_cast<int>(i);
+    if (vn.parent == -1) plan.roots_.push_back(static_cast<int>(i));
+  }
+  for (int an : plan.atom_node_) {
+    if (an < 0) return Status::InvalidArgument("atom not anchored by order");
+  }
+
+  for (PlanNode& pn : plan.nodes_) {
+    for (size_t k = 0; k < pn.atoms.size(); ++k) {
+      pn.atom_programs.push_back(
+          plan.CompileProgram(pn, FactorRef{FactorRef::kAtom, pn.atoms[k]}));
+    }
+    for (size_t k = 0; k < pn.children.size(); ++k) {
+      pn.child_programs.push_back(plan.CompileProgram(
+          pn, FactorRef{FactorRef::kChild,
+                        static_cast<size_t>(pn.children[k])}));
+    }
+  }
+
+  // Enumeration spine: free nodes in preorder.
+  for (int i : vo.preorder()) {
+    if (plan.nodes_[static_cast<size_t>(i)].free) plan.enum_nodes_.push_back(i);
+  }
+  return plan;
+}
+
+Status ViewTreePlan::CanEnumerate() const {
+  if (!vo_.FreeVarsAncestorClosed()) {
+    return Status::FailedPrecondition(
+        "free variables are not ancestor-closed in the variable order; the "
+        "factorized output cannot be enumerated with constant delay");
+  }
+  return Status::Ok();
+}
+
+bool ViewTreePlan::AllProgramsConstantTime() const {
+  for (const PlanNode& n : nodes_) {
+    for (const DeltaProgram& p : n.atom_programs) {
+      if (!p.constant_time) return false;
+    }
+    for (const DeltaProgram& p : n.child_programs) {
+      if (!p.constant_time) return false;
+    }
+  }
+  return true;
+}
+
+bool ViewTreePlan::ProgramsConstantTimeFor(
+    const std::vector<size_t>& atom_ids) const {
+  // A delta to atom a runs the atom's program at its node, then the chain
+  // of child programs up to the root.
+  for (size_t a : atom_ids) {
+    int ni = atom_node_[a];
+    const PlanNode* n = &nodes_[static_cast<size_t>(ni)];
+    // Atom program.
+    for (size_t k = 0; k < n->atoms.size(); ++k) {
+      if (n->atoms[k] == a && !n->atom_programs[k].constant_time) {
+        return false;
+      }
+    }
+    // Child-program chain to the root.
+    while (n->parent != -1) {
+      const PlanNode& parent = nodes_[static_cast<size_t>(n->parent)];
+      for (size_t k = 0; k < parent.children.size(); ++k) {
+        if (parent.children[k] == ni &&
+            !parent.child_programs[k].constant_time) {
+          return false;
+        }
+      }
+      ni = n->parent;
+      n = &parent;
+    }
+  }
+  return true;
+}
+
+}  // namespace incr

@@ -1,0 +1,137 @@
+// ViewTreePlan: the ring-independent "compiled" form of a view tree
+// (paper §4.1, Fig. 3; the F-IVM / Dynamic-Yannakakis construction).
+//
+// Given a query Q and a variable order omega, each node X materializes:
+//
+//   W_X over schema key(X) + (X):  the node's view — the join of the atoms
+//       anchored at X with the marginalizations M_C of X's children;
+//   M_X over schema key(X):        SUM_X W_X, with X's values passed through
+//       the node's lifting function before aggregation.
+//
+// A single-tuple delta to an atom (or, recursively, to a child's M) is
+// turned into a delta on W_X by joining it with the node's *other* factors.
+// The plan precompiles one DeltaProgram per (node, delta source): the order
+// in which the other factors are probed, which of their columns are bound
+// at that point, and which grouped index serves each partially-bound probe.
+// For a q-hierarchical query under its canonical order every probe is fully
+// keyed, so each program runs in O(1) — Thm. 4.1's update bound. For other
+// queries some probes are group scans, and the same machinery degrades
+// gracefully (this is exactly what the FD (§4.4), static/dynamic (§4.5) and
+// PK-FK (Ex. 4.13) engines exploit).
+#ifndef INCR_CORE_VIEW_TREE_PLAN_H_
+#define INCR_CORE_VIEW_TREE_PLAN_H_
+
+#include <vector>
+
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// A factor of a node's view: an atom anchored at the node, or the
+/// marginalization M of one of its children.
+struct FactorRef {
+  enum Kind { kAtom, kChild } kind;
+  /// Atom index into Query::atoms() or node index of the child.
+  size_t index;
+};
+
+/// One probe of a DeltaProgram.
+struct JoinStep {
+  FactorRef factor;
+  /// All factor columns bound: a single payload lookup.
+  bool full_key = false;
+  /// Slot in the plan's per-storage index list (when !full_key).
+  size_t index_slot = 0;
+  /// Factor columns already bound, and the W-schema slots providing them.
+  SmallVector<uint32_t, 4> bound_cols;
+  SmallVector<uint32_t, 4> bound_slots;
+  /// Factor columns introducing new variables, and their W-schema slots.
+  SmallVector<uint32_t, 4> new_cols;
+  SmallVector<uint32_t, 4> new_slots;
+};
+
+/// How a single-tuple delta from `source` becomes a set of W-deltas.
+struct DeltaProgram {
+  FactorRef source;
+  /// W-schema slot for each source tuple column.
+  SmallVector<uint32_t, 4> source_slots;
+  std::vector<JoinStep> steps;
+  /// True if some step is a group scan (not fully keyed) — i.e. this
+  /// program is not O(1). Surfaced for diagnostics and tests.
+  bool constant_time = true;
+};
+
+struct PlanNode {
+  Var var = 0;
+  int parent = -1;
+  std::vector<int> children;
+  std::vector<size_t> atoms;
+  bool free = false;
+  Schema key;        ///< schema of M_X
+  Schema w_schema;   ///< key + (var): schema of W_X
+  /// Programs, one per anchored atom (parallel to `atoms`) and one per
+  /// child (parallel to `children`).
+  std::vector<DeltaProgram> atom_programs;
+  std::vector<DeltaProgram> child_programs;
+};
+
+/// Index requirements for one storage object (an atom's base relation or a
+/// node's M view): the list of key schemas to register, in slot order.
+using IndexRequirements = std::vector<Schema>;
+
+class ViewTreePlan {
+ public:
+  /// Compiles the plan. Fails if the order is invalid for the query.
+  static StatusOr<ViewTreePlan> Make(const Query& q, const VariableOrder& vo);
+
+  const Query& query() const { return query_; }
+  const VariableOrder& vo() const { return vo_; }
+  const std::vector<PlanNode>& nodes() const { return nodes_; }
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Anchor node of each atom.
+  const std::vector<int>& atom_node() const { return atom_node_; }
+
+  const std::vector<IndexRequirements>& atom_indexes() const {
+    return atom_indexes_;
+  }
+  const std::vector<IndexRequirements>& m_indexes() const {
+    return m_indexes_;
+  }
+
+  /// Free nodes in preorder — the enumeration spine.
+  const std::vector<int>& enum_nodes() const { return enum_nodes_; }
+
+  /// OK iff free variables are ancestor-closed in the order, i.e. the
+  /// output can be enumerated with constant delay from the view tree.
+  Status CanEnumerate() const;
+
+  /// True iff every delta program is O(1) — with CanEnumerate, the paper's
+  /// "best possible maintenance" regime.
+  bool AllProgramsConstantTime() const;
+
+  /// True iff every program whose source is (transitively reachable from)
+  /// one of the given atoms is O(1). Used by the static/dynamic analysis:
+  /// only the *dynamic* atoms' paths must be constant-time.
+  bool ProgramsConstantTimeFor(const std::vector<size_t>& atom_ids) const;
+
+ private:
+  DeltaProgram CompileProgram(const PlanNode& node, FactorRef source);
+  size_t RequireIndex(FactorRef factor, const Schema& key);
+  Schema FactorSchema(const FactorRef& f) const;
+
+  Query query_;
+  VariableOrder vo_;
+  std::vector<PlanNode> nodes_;
+  std::vector<int> roots_;
+  std::vector<int> atom_node_;
+  std::vector<IndexRequirements> atom_indexes_;
+  std::vector<IndexRequirements> m_indexes_;
+  std::vector<int> enum_nodes_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_CORE_VIEW_TREE_PLAN_H_

@@ -1,0 +1,160 @@
+// CqapEngine<R>: maintenance + access-request engine for tractable CQAPs
+// (paper §4.3, Thm. 4.8).
+//
+// The fracture's connected components are maintained independently, each by
+// a view tree whose canonical variable order places the component's (fresh)
+// input variables above its output variables. An access request binds every
+// input variable — a root-path prefix of each component's tree — and
+// enumerates the output tuples as the cross product of the components'
+// enumerations, with constant delay and payloads multiplied across
+// components.
+#ifndef INCR_CQAP_CQAP_ENGINE_H_
+#define INCR_CQAP_CQAP_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "incr/core/view_tree.h"
+#include "incr/query/cqap.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+template <RingType R>
+class CqapEngine {
+ public:
+  using RV = typename R::Value;
+  /// Receives each output tuple (over the CQAP's output schema, in its
+  /// declared order) with its payload.
+  using Sink = std::function<void(const Tuple&, const RV&)>;
+
+  static StatusOr<CqapEngine> Make(const CqapQuery& q) {
+    if (!IsTractableCqap(q)) {
+      return Status::FailedPrecondition(
+          "CQAP is not tractable (fracture not hierarchical / free-dominant "
+          "/ input-dominant); Thm. 4.8 rules out O(1) update and delay");
+    }
+    CqapEngine e;
+    e.cqap_ = q;
+    e.fracture_ = ComputeFracture(q);
+    for (const auto& comp : e.fracture_.components) {
+      Schema fresh_inputs;
+      for (const auto& [fresh, orig] : comp.inputs) {
+        fresh_inputs.push_back(fresh);
+      }
+      auto vo = VariableOrder::CanonicalWithPriority(
+          comp.query, [&](Var v) {
+            if (SchemaContains(fresh_inputs, v)) return 0;
+            if (comp.query.IsFree(v)) return 1;
+            return 2;
+          });
+      if (!vo.ok()) return vo.status();
+      auto tree = ViewTree<R>::Make(comp.query, *std::move(vo));
+      if (!tree.ok()) return tree.status();
+      Status st = tree->plan().CanEnumerate();
+      if (!st.ok()) return st;
+      e.trees_.push_back(
+          std::make_unique<ViewTree<R>>(*std::move(tree)));
+    }
+    e.BuildAccessPlans();
+    return e;
+  }
+
+  const CqapQuery& cqap() const { return cqap_; }
+  size_t NumComponents() const { return trees_.size(); }
+
+  /// Applies a single-tuple delta to every atom of relation `rel` across
+  /// all components. O(1) per atom for tractable CQAPs.
+  void Update(const std::string& rel, const Tuple& t, const RV& m) {
+    bool found = false;
+    for (size_t ci = 0; ci < trees_.size(); ++ci) {
+      const Query& cq = fracture_.components[ci].query;
+      for (size_t a = 0; a < cq.atoms().size(); ++a) {
+        if (cq.atoms()[a].relation == rel) {
+          trees_[ci]->UpdateAtom(a, t, m);
+          found = true;
+        }
+      }
+    }
+    INCR_CHECK(found);
+  }
+
+  /// Access request: `input` holds one value per CQAP input variable, in
+  /// the declared input order. Enumerates all output tuples with constant
+  /// delay; returns their number.
+  size_t Access(const Tuple& input, const Sink& sink) const {
+    INCR_CHECK(input.size() == cqap_.input.size());
+    Tuple out;
+    out.resize(cqap_.output.size(), 0);
+    RV acc = R::One();
+    return AccessRec(0, input, &out, acc, sink);
+  }
+
+  /// Boolean access (all-input CQAPs like triangle detection): true iff
+  /// the payload for this input tuple is non-zero.
+  bool Check(const Tuple& input) const {
+    return Access(input, nullptr) > 0;
+  }
+
+ private:
+  struct AccessPlan {
+    Binding binding_template;              // fresh input vars (values filled
+                                           // per request)
+    SmallVector<uint32_t, 4> input_slots;  // position in the request tuple
+                                           // for each bound var
+    // Output projection: tree output position -> global output position.
+    std::vector<std::pair<uint32_t, uint32_t>> out_map;
+  };
+
+  void BuildAccessPlans() {
+    plans_.resize(trees_.size());
+    for (size_t ci = 0; ci < trees_.size(); ++ci) {
+      AccessPlan& plan = plans_[ci];
+      for (const auto& [fresh, orig] : fracture_.components[ci].inputs) {
+        plan.binding_template.Bind(fresh, 0);
+        auto pos = FindVar(cqap_.input, orig);
+        INCR_CHECK(pos.has_value());
+        plan.input_slots.push_back(*pos);
+      }
+      Schema tree_out = trees_[ci]->OutputSchema();
+      for (uint32_t i = 0; i < tree_out.size(); ++i) {
+        auto pos = FindVar(cqap_.output, tree_out[i]);
+        if (pos.has_value()) plan.out_map.emplace_back(i, *pos);
+      }
+    }
+  }
+
+  size_t AccessRec(size_t ci, const Tuple& input, Tuple* out, const RV& acc,
+                   const Sink& sink) const {
+    if (R::IsZero(acc)) return 0;
+    if (ci == trees_.size()) {
+      if (sink) sink(*out, acc);
+      return 1;
+    }
+    const AccessPlan& plan = plans_[ci];
+    Binding binding = plan.binding_template;
+    for (size_t i = 0; i < plan.input_slots.size(); ++i) {
+      binding.values[i] = input[plan.input_slots[i]];
+    }
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it(*trees_[ci], binding); it.Valid();
+         it.Next()) {
+      Tuple t = it.tuple();
+      for (const auto& [from, to] : plan.out_map) (*out)[to] = t[from];
+      n += AccessRec(ci + 1, input, out, R::Mul(acc, it.payload()), sink);
+    }
+    return n;
+  }
+
+  CqapQuery cqap_;
+  Fracture fracture_;
+  std::vector<std::unique_ptr<ViewTree<R>>> trees_;
+  std::vector<AccessPlan> plans_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_CQAP_CQAP_ENGINE_H_

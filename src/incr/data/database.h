@@ -1,0 +1,76 @@
+// A database: named relations over the same ring (paper §2). Relations are
+// addressed by dense RelId handles; engines hold RelIds, not names.
+#ifndef INCR_DATA_DATABASE_H_
+#define INCR_DATA_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "incr/data/relation.h"
+#include "incr/util/check.h"
+
+namespace incr {
+
+/// Handle of a relation within a Database.
+using RelId = uint32_t;
+
+template <RingType R>
+class Database {
+ public:
+  /// Creates an empty relation; the name must be fresh.
+  RelId AddRelation(const std::string& name, Schema schema) {
+    INCR_CHECK(ids_.find(name) == ids_.end());
+    RelId id = static_cast<RelId>(relations_.size());
+    relations_.push_back(std::make_unique<Relation<R>>(std::move(schema)));
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+
+  Relation<R>& relation(RelId id) {
+    INCR_DCHECK(id < relations_.size());
+    return *relations_[id];
+  }
+  const Relation<R>& relation(RelId id) const {
+    INCR_DCHECK(id < relations_.size());
+    return *relations_[id];
+  }
+
+  /// Relation by name; nullptr if unknown.
+  Relation<R>* Find(const std::string& name) {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? nullptr : relations_[it->second].get();
+  }
+
+  /// RelId by name; the name must exist.
+  RelId Id(const std::string& name) const {
+    auto it = ids_.find(name);
+    INCR_CHECK(it != ids_.end());
+    return it->second;
+  }
+
+  const std::string& Name(RelId id) const {
+    INCR_DCHECK(id < names_.size());
+    return names_[id];
+  }
+
+  size_t NumRelations() const { return relations_.size(); }
+
+  /// Sum of relation sizes: |D| in the paper's complexity statements.
+  size_t TotalSize() const {
+    size_t n = 0;
+    for (const auto& r : relations_) n += r->size();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Relation<R>>> relations_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, RelId> ids_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_DATA_DATABASE_H_

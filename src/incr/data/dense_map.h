@@ -1,0 +1,181 @@
+// DenseMap: an open-addressing hash map with a dense entry array.
+//
+// This is the workhorse container behind relations, views, and indexes. The
+// IVM data-structure contract from paper §2 is exactly its design brief:
+//   * lookup / insert / erase in amortized constant time,
+//   * enumeration of entries with constant delay (dense array scan, no
+//     skipping over empty buckets as in node- or bucket-based maps).
+//
+// Layout: `entries_` is a dense vector of {key, value}; `slots_` is a
+// power-of-two open-addressing table (linear probing) storing indexes into
+// `entries_`, with tombstones for deletions. Erase swap-removes from the
+// dense array and patches the moved entry's slot, so the dense array never
+// has holes. The table is rebuilt when live+tombstone load exceeds 7/8.
+//
+// References returned by Find/GetOrInsert are invalidated by any mutation.
+#ifndef INCR_DATA_DENSE_MAP_H_
+#define INCR_DATA_DENSE_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Eq = std::equal_to<K>>
+class DenseMap {
+ public:
+  struct Entry {
+    K key;
+    V value;
+  };
+
+  DenseMap() { InitTable(kMinCapacity); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Dense, constant-delay iteration over all entries.
+  const Entry* begin() const { return entries_.data(); }
+  const Entry* end() const { return entries_.data() + entries_.size(); }
+
+  /// Entry at dense position `i` (0 <= i < size()). Positions are stable
+  /// only between mutations.
+  const Entry& at(size_t i) const {
+    INCR_DCHECK(i < entries_.size());
+    return entries_[i];
+  }
+
+  void clear() {
+    entries_.clear();
+    InitTable(kMinCapacity);
+    tombstones_ = 0;
+  }
+
+  void Reserve(size_t n) {
+    size_t needed = NextPow2(n * 8 / 7 + 1);
+    if (needed > slots_.size()) Rebuild(needed);
+    entries_.reserve(n);
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr.
+  V* Find(const K& key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return nullptr;
+    return &entries_[slots_[slot]].value;
+  }
+  const V* Find(const K& key) const {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return nullptr;
+    return &entries_[slots_[slot]].value;
+  }
+
+  /// Returns the value for `key`, inserting `def` first if absent.
+  V& GetOrInsert(const K& key, V def = V{}) {
+    MaybeRebuild();
+    uint64_t h = hash_(key);
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    size_t first_tombstone = kNoSlot;
+    for (;;) {
+      uint32_t s = slots_[i];
+      if (s == kEmpty) {
+        size_t target = first_tombstone != kNoSlot ? first_tombstone : i;
+        if (first_tombstone != kNoSlot) --tombstones_;
+        slots_[target] = static_cast<uint32_t>(entries_.size());
+        entries_.push_back(Entry{key, std::move(def)});
+        return entries_.back().value;
+      }
+      if (s == kTombstone) {
+        if (first_tombstone == kNoSlot) first_tombstone = i;
+      } else if (eq_(entries_[s].key, key)) {
+        return entries_[s].value;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Removes `key`. Returns true if it was present.
+  bool Erase(const K& key) {
+    size_t slot = FindSlot(key);
+    if (slot == kNoSlot) return false;
+    uint32_t idx = slots_[slot];
+    slots_[slot] = kTombstone;
+    ++tombstones_;
+    uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
+    if (idx != last) {
+      // Swap-remove: move the last dense entry into the hole and repoint
+      // its slot.
+      size_t moved_slot = FindSlot(entries_[last].key);
+      INCR_DCHECK(moved_slot != kNoSlot);
+      INCR_DCHECK(slots_[moved_slot] == last);
+      entries_[idx] = std::move(entries_[last]);
+      slots_[moved_slot] = idx;
+    }
+    entries_.pop_back();
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  static constexpr uint32_t kTombstone = UINT32_MAX - 1;
+  static constexpr size_t kNoSlot = SIZE_MAX;
+  static constexpr size_t kMinCapacity = 16;
+
+  static size_t NextPow2(size_t n) {
+    size_t p = kMinCapacity;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  void InitTable(size_t capacity) {
+    slots_.assign(capacity, kEmpty);
+  }
+
+  size_t FindSlot(const K& key) const {
+    uint64_t h = hash_(key);
+    size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(h) & mask;
+    for (;;) {
+      uint32_t s = slots_[i];
+      if (s == kEmpty) return kNoSlot;
+      if (s != kTombstone && eq_(entries_[s].key, key)) return i;
+      i = (i + 1) & mask;
+    }
+  }
+
+  void MaybeRebuild() {
+    // Keep live + tombstone load under 7/8; grow only if live load alone
+    // exceeds 1/2, otherwise rebuild at the same size to purge tombstones.
+    size_t used = entries_.size() + tombstones_ + 1;
+    if (used * 8 < slots_.size() * 7) return;
+    size_t cap = slots_.size();
+    if ((entries_.size() + 1) * 2 >= cap) cap <<= 1;
+    Rebuild(cap);
+  }
+
+  void Rebuild(size_t capacity) {
+    slots_.assign(capacity, kEmpty);
+    tombstones_ = 0;
+    size_t mask = capacity - 1;
+    for (uint32_t idx = 0; idx < entries_.size(); ++idx) {
+      size_t i = static_cast<size_t>(hash_(entries_[idx].key)) & mask;
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = idx;
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> slots_;
+  size_t tombstones_ = 0;
+  [[no_unique_address]] Hash hash_{};
+  [[no_unique_address]] Eq eq_{};
+};
+
+}  // namespace incr
+
+#endif  // INCR_DATA_DENSE_MAP_H_

@@ -1,0 +1,95 @@
+// GroupedIndex: for a relation over schema S and a key subset K of S, an
+// index that, given a key tuple over K, enumerates with constant delay all
+// relation tuples agreeing with it, and supports amortized-constant insert
+// and delete of index entries — the index structure required by paper §2.
+//
+// Implementation: key -> dense vector of member tuples, plus a position map
+// (full tuple -> offset in its group) so deletion is a swap-remove.
+#ifndef INCR_DATA_GROUPED_INDEX_H_
+#define INCR_DATA_GROUPED_INDEX_H_
+
+#include <vector>
+
+#include "incr/data/dense_map.h"
+#include "incr/data/schema.h"
+#include "incr/data/tuple.h"
+
+namespace incr {
+
+class GroupedIndex {
+ public:
+  /// `base` is the indexed relation's schema, `key` the grouping columns
+  /// (each must occur in `base`).
+  GroupedIndex(const Schema& base, const Schema& key)
+      : key_schema_(key), key_positions_(ProjectionPositions(base, key)) {}
+
+  const Schema& key_schema() const { return key_schema_; }
+
+  /// The group key of a full tuple.
+  Tuple KeyOf(const Tuple& t) const { return ProjectTuple(t, key_positions_); }
+
+  /// Adds `t` to its group. Must not already be present.
+  void Insert(const Tuple& t) {
+    auto& group = groups_.GetOrInsert(KeyOf(t));
+    positions_.GetOrInsert(t) = static_cast<uint32_t>(group.size());
+    group.push_back(t);
+  }
+
+  /// Removes `t` from its group. Returns true if it was present.
+  bool Erase(const Tuple& t) {
+    uint32_t* pos = positions_.Find(t);
+    if (pos == nullptr) return false;
+    Tuple key = KeyOf(t);
+    std::vector<Tuple>* group = groups_.Find(key);
+    INCR_DCHECK(group != nullptr);
+    uint32_t idx = *pos;
+    uint32_t last = static_cast<uint32_t>(group->size()) - 1;
+    if (idx != last) {
+      (*group)[idx] = std::move((*group)[last]);
+      *positions_.Find((*group)[idx]) = idx;
+    }
+    group->pop_back();
+    positions_.Erase(t);
+    if (group->empty()) groups_.Erase(key);
+    return true;
+  }
+
+  /// The tuples in the group of `key`; nullptr if the group is empty.
+  /// The pointer is invalidated by any mutation of the index.
+  const std::vector<Tuple>* Group(const Tuple& key) const {
+    return groups_.Find(key);
+  }
+
+  /// Number of tuples in the group of `key` (its degree).
+  size_t GroupSize(const Tuple& key) const {
+    const auto* g = groups_.Find(key);
+    return g == nullptr ? 0 : g->size();
+  }
+
+  /// Number of distinct non-empty groups.
+  size_t NumGroups() const { return groups_.size(); }
+
+  /// Total number of indexed tuples.
+  size_t NumEntries() const { return positions_.size(); }
+
+  /// Constant-delay iteration over the distinct group keys.
+  const DenseMap<Tuple, std::vector<Tuple>, TupleHash, TupleEq>& groups()
+      const {
+    return groups_;
+  }
+
+  void Clear() {
+    groups_.clear();
+    positions_.clear();
+  }
+
+ private:
+  Schema key_schema_;
+  SmallVector<uint32_t, 4> key_positions_;
+  DenseMap<Tuple, std::vector<Tuple>, TupleHash, TupleEq> groups_;
+  DenseMap<Tuple, uint32_t, TupleHash, TupleEq> positions_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_DATA_GROUPED_INDEX_H_

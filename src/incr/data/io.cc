@@ -1,0 +1,105 @@
+#include "incr/data/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace incr {
+
+namespace {
+
+// Reads the next non-empty, non-comment line; false on EOF.
+bool NextLine(std::istream& in, std::string* line) {
+  while (std::getline(in, *line)) {
+    size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void WriteRelation(std::ostream& out, const std::string& name,
+                   const Relation<IntRing>& rel) {
+  out << "relation " << name << " " << rel.schema().size() << "\n";
+  for (const auto& e : rel) {
+    for (Value v : e.key) out << v << " ";
+    out << e.value << "\n";
+  }
+  out << "end\n";
+}
+
+Status ReadRelation(std::istream& in, const std::string& expected_name,
+                    Relation<IntRing>* rel) {
+  std::string line;
+  if (!NextLine(in, &line)) {
+    return Status::InvalidArgument("unexpected end of stream");
+  }
+  std::istringstream header(line);
+  std::string keyword, name;
+  size_t arity = 0;
+  header >> keyword >> name >> arity;
+  if (keyword != "relation" || header.fail()) {
+    return Status::InvalidArgument("expected 'relation <name> <arity>'");
+  }
+  if (name != expected_name) {
+    return Status::InvalidArgument("expected relation '" + expected_name +
+                                   "', found '" + name + "'");
+  }
+  if (arity != rel->schema().size()) {
+    return Status::InvalidArgument("arity mismatch for '" + name + "'");
+  }
+  while (NextLine(in, &line)) {
+    if (line.rfind("end", 0) == 0) return Status::Ok();
+    std::istringstream row(line);
+    Tuple t;
+    for (size_t i = 0; i < arity; ++i) {
+      Value v;
+      row >> v;
+      t.push_back(v);
+    }
+    int64_t payload;
+    row >> payload;
+    if (row.fail()) {
+      return Status::InvalidArgument("malformed row: " + line);
+    }
+    rel->Apply(t, payload);
+  }
+  return Status::InvalidArgument("missing 'end' for relation " + name);
+}
+
+void WriteDatabase(std::ostream& out, const Database<IntRing>& db) {
+  for (RelId id = 0; id < db.NumRelations(); ++id) {
+    WriteRelation(out, db.Name(id), db.relation(id));
+  }
+}
+
+Status ReadDatabase(std::istream& in, Database<IntRing>* db) {
+  std::string line;
+  while (NextLine(in, &line)) {
+    std::istringstream header(line);
+    std::string keyword, name;
+    header >> keyword >> name;
+    if (keyword != "relation") {
+      return Status::InvalidArgument("expected 'relation', got: " + line);
+    }
+    Relation<IntRing>* rel = db->Find(name);
+    if (rel == nullptr) {
+      return Status::NotFound("unknown relation '" + name + "'");
+    }
+    // Re-parse the section with the single-relation reader.
+    std::string section = line + "\n";
+    while (std::getline(in, line)) {
+      section += line + "\n";
+      if (line.rfind("end", 0) == 0) break;
+    }
+    std::istringstream section_in(section);
+    Status st = ReadRelation(section_in, name, rel);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace incr

@@ -1,0 +1,41 @@
+// Plain-text serialization of integer-payload relations and databases:
+// snapshot/restore for examples, tooling, and long-lived maintenance
+// sessions.
+//
+// Format (line-oriented, '#' comments ignored):
+//   relation <name> <arity>
+//   <v1> <v2> ... <varity> <payload>
+//   ...
+//   end
+#ifndef INCR_DATA_IO_H_
+#define INCR_DATA_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "incr/data/database.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// Writes one relation section.
+void WriteRelation(std::ostream& out, const std::string& name,
+                   const Relation<IntRing>& rel);
+
+/// Reads one relation section into `rel` (applied as deltas; `rel` is not
+/// cleared first). The stream must be positioned at a "relation" line for
+/// `expected_name`; arity must match rel's schema.
+Status ReadRelation(std::istream& in, const std::string& expected_name,
+                    Relation<IntRing>* rel);
+
+/// Writes every relation of the database.
+void WriteDatabase(std::ostream& out, const Database<IntRing>& db);
+
+/// Reads relation sections until EOF, applying each to the same-named
+/// relation of `db` (which must exist with matching arity).
+Status ReadDatabase(std::istream& in, Database<IntRing>* db);
+
+}  // namespace incr
+
+#endif  // INCR_DATA_IO_H_

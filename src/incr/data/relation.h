@@ -1,0 +1,95 @@
+// Relation over a ring (paper §2): a finite map from tuples over a schema to
+// non-zero ring payloads, implemented as a DenseMap, with optional grouped
+// indexes kept in sync on every change. Payloads that become zero are
+// physically removed, so |R| is always the number of non-zero tuples.
+#ifndef INCR_DATA_RELATION_H_
+#define INCR_DATA_RELATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "incr/data/dense_map.h"
+#include "incr/data/grouped_index.h"
+#include "incr/data/schema.h"
+#include "incr/data/tuple.h"
+#include "incr/ring/ring.h"
+
+namespace incr {
+
+template <RingType R>
+class Relation {
+ public:
+  using RV = typename R::Value;
+  using Entry = typename DenseMap<Tuple, RV, TupleHash, TupleEq>::Entry;
+
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Payload of `t`; Zero if absent.
+  RV Payload(const Tuple& t) const {
+    const RV* v = data_.Find(t);
+    return v == nullptr ? R::Zero() : *v;
+  }
+
+  bool Contains(const Tuple& t) const { return data_.Find(t) != nullptr; }
+
+  /// Applies a delta: payload(t) += d, removing t if the result is zero.
+  /// This is the single mutation entry point; all indexes stay in sync.
+  void Apply(const Tuple& t, const RV& d) {
+    INCR_DCHECK(t.size() == schema_.size());
+    if (R::IsZero(d)) return;
+    RV* existing = data_.Find(t);
+    if (existing == nullptr) {
+      data_.GetOrInsert(t, d);
+      for (auto& idx : indexes_) idx->Insert(t);
+      return;
+    }
+    *existing = R::Add(*existing, d);
+    if (R::IsZero(*existing)) {
+      data_.Erase(t);
+      for (auto& idx : indexes_) idx->Erase(t);
+    }
+  }
+
+  /// Constant-delay iteration over (tuple, payload) entries.
+  const Entry* begin() const { return data_.begin(); }
+  const Entry* end() const { return data_.end(); }
+  const Entry& at(size_t i) const { return data_.at(i); }
+
+  /// Registers a grouped index on `key` columns; returns its id. Existing
+  /// contents are indexed immediately.
+  size_t AddIndex(const Schema& key) {
+    auto idx = std::make_unique<GroupedIndex>(schema_, key);
+    for (const Entry& e : data_) idx->Insert(e.key);
+    indexes_.push_back(std::move(idx));
+    return indexes_.size() - 1;
+  }
+
+  const GroupedIndex& index(size_t id) const {
+    INCR_DCHECK(id < indexes_.size());
+    return *indexes_[id];
+  }
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+  /// Removes all tuples (indexes are emptied, not dropped).
+  void Clear() {
+    data_.clear();
+    for (auto& idx : indexes_) idx->Clear();
+  }
+
+  void Reserve(size_t n) { data_.Reserve(n); }
+
+ private:
+  Schema schema_;
+  DenseMap<Tuple, RV, TupleHash, TupleEq> data_;
+  std::vector<std::unique_ptr<GroupedIndex>> indexes_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_DATA_RELATION_H_

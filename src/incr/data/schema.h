@@ -1,0 +1,69 @@
+// Variables and schemas. A schema is an ordered tuple of variables (paper
+// §2); variable identity is a dense integer id issued by VarRegistry so that
+// set operations are cheap.
+#ifndef INCR_DATA_SCHEMA_H_
+#define INCR_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "incr/util/small_vector.h"
+
+namespace incr {
+
+/// A query variable, identified by a dense id.
+using Var = uint32_t;
+
+/// An ordered list of variables: the schema of a relation or view.
+using Schema = SmallVector<Var, 4>;
+
+/// Issues dense Var ids for names and maps them back (for display).
+class VarRegistry {
+ public:
+  /// Returns the id for `name`, registering it if new.
+  Var GetOrCreate(const std::string& name);
+
+  /// Returns the id for `name` if registered.
+  std::optional<Var> Get(const std::string& name) const;
+
+  /// Name of a registered variable; "?<id>" if unknown.
+  std::string Name(Var v) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, Var> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Position of `v` in `schema`, or nullopt.
+std::optional<uint32_t> FindVar(const Schema& schema, Var v);
+
+/// True if `schema` contains `v`.
+bool SchemaContains(const Schema& schema, Var v);
+
+/// True if every variable of `a` occurs in `b`.
+bool SchemaSubset(const Schema& a, const Schema& b);
+
+/// Variables of `a` that also occur in `b`, in `a`'s order.
+Schema SchemaIntersect(const Schema& a, const Schema& b);
+
+/// `a` followed by the variables of `b` not already in `a`.
+Schema SchemaUnion(const Schema& a, const Schema& b);
+
+/// Variables of `a` not in `b`, in `a`'s order.
+Schema SchemaMinus(const Schema& a, const Schema& b);
+
+/// Positions in `from` of each variable of `to`; all must be present.
+SmallVector<uint32_t, 4> ProjectionPositions(const Schema& from,
+                                             const Schema& to);
+
+/// Renders e.g. "(A, B)" using the registry's names.
+std::string SchemaToString(const Schema& schema, const VarRegistry& vars);
+
+}  // namespace incr
+
+#endif  // INCR_DATA_SCHEMA_H_

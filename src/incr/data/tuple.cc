@@ -1,0 +1,15 @@
+#include "incr/data/tuple.h"
+
+namespace incr {
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(t[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace incr

@@ -1,0 +1,50 @@
+// Tuples: short inline vectors of Values, hashed with full avalanche.
+#ifndef INCR_DATA_TUPLE_H_
+#define INCR_DATA_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "incr/data/value.h"
+#include "incr/util/hash.h"
+#include "incr/util/small_vector.h"
+
+namespace incr {
+
+/// A tuple of data values. Inline storage for up to 4 values covers the
+/// arities in all workloads here without heap allocation.
+using Tuple = SmallVector<Value, 4>;
+
+struct TupleHash {
+  uint64_t operator()(const Tuple& t) const {
+    return HashSpan64(reinterpret_cast<const uint64_t*>(t.data()), t.size());
+  }
+};
+
+struct TupleEq {
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+};
+
+/// Projects `t` onto the positions in `positions` (in that order).
+inline Tuple ProjectTuple(const Tuple& t, const SmallVector<uint32_t, 4>& positions) {
+  Tuple out;
+  out.reserve(positions.size());
+  for (uint32_t p : positions) out.push_back(t[p]);
+  return out;
+}
+
+/// Concatenates two tuples.
+inline Tuple ConcatTuple(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.reserve(a.size() + b.size());
+  for (Value v : a) out.push_back(v);
+  for (Value v : b) out.push_back(v);
+  return out;
+}
+
+/// Renders e.g. "(1, 7, 3)" for debugging and examples.
+std::string TupleToString(const Tuple& t);
+
+}  // namespace incr
+
+#endif  // INCR_DATA_TUPLE_H_

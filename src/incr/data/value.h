@@ -1,0 +1,36 @@
+// Values are dictionary-encoded 64-bit integers. Workloads generate integer
+// keys directly; string domains (e.g. company names in the IMDB-like
+// workload) are interned through Dictionary.
+#ifndef INCR_DATA_VALUE_H_
+#define INCR_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace incr {
+
+/// A data value: either a raw integer or a dictionary code for a string.
+using Value = int64_t;
+
+/// Interns strings to dense Value codes and back.
+class Dictionary {
+ public:
+  /// Returns the code of `s`, interning it if new. Codes are dense from 0.
+  Value Intern(std::string_view s);
+
+  /// Looks up a previously interned string; returns nullptr if unknown.
+  const std::string* Lookup(Value code) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> codes_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_DATA_VALUE_H_

@@ -1,0 +1,242 @@
+#include "incr/engines/leapfrog.h"
+
+#include <algorithm>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+
+// Position of v in `order`; relations' columns are sorted by this.
+size_t OrderPos(const std::vector<Var>& order, Var v) {
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == v) return i;
+  }
+  INCR_CHECK(false);
+  return 0;
+}
+
+}  // namespace
+
+TrieRelation::TrieRelation(const Schema& schema,
+                           const std::vector<Var>& var_order,
+                           const Relation<IntRing>& rel) {
+  // Reorder the schema by the global variable order.
+  depth_vars_ = schema;
+  std::sort(depth_vars_.begin(), depth_vars_.end(), [&](Var a, Var b) {
+    return OrderPos(var_order, a) < OrderPos(var_order, b);
+  });
+  auto positions = ProjectionPositions(schema, depth_vars_);
+  std::vector<std::pair<Tuple, int64_t>> rows;
+  rows.reserve(rel.size());
+  for (const auto& e : rel) {
+    rows.emplace_back(ProjectTuple(e.key, positions), e.value);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  tuples_.reserve(rows.size());
+  payloads_.reserve(rows.size());
+  for (auto& [t, p] : rows) {
+    tuples_.push_back(std::move(t));
+    payloads_.push_back(p);
+  }
+}
+
+namespace {
+
+// Per-atom iterator state: the current tuple range [begin, end) agreeing
+// with the values chosen so far, and the atom's current trie level.
+struct AtomState {
+  const TrieRelation* trie;
+  size_t begin = 0;
+  size_t end = 0;
+  size_t level = 0;  // next trie level to bind
+};
+
+// Within [st.begin, st.end) at level st.level, the subrange whose value at
+// that level is >= v starts at:
+size_t SeekLower(const AtomState& st, Value v) {
+  const auto& tuples = st.trie->tuples();
+  size_t lo = st.begin, hi = st.end;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (tuples[mid][st.level] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t SeekUpper(const AtomState& st, Value v) {
+  const auto& tuples = st.trie->tuples();
+  size_t lo = st.begin, hi = st.end;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (tuples[mid][st.level] <= v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+struct Frame {
+  size_t atom;
+  size_t saved_begin, saved_end, saved_level;
+};
+
+class Leapfrog {
+ public:
+  Leapfrog(const Query& q, const std::vector<const Relation<IntRing>*>& rels,
+           const std::vector<Var>& order,
+           const std::function<void(const Tuple&, int64_t)>& sink)
+      : order_(order), sink_(sink) {
+    tries_.reserve(q.atoms().size());
+    for (size_t a = 0; a < q.atoms().size(); ++a) {
+      tries_.emplace_back(q.atoms()[a].schema, order, *rels[a]);
+    }
+    states_.resize(tries_.size());
+    for (size_t a = 0; a < tries_.size(); ++a) {
+      states_[a].trie = &tries_[a];
+      states_[a].end = tries_[a].tuples().size();
+    }
+    // Atoms participating at each depth.
+    at_depth_.resize(order.size());
+    for (size_t a = 0; a < tries_.size(); ++a) {
+      for (size_t d = 0; d < tries_[a].depth(); ++d) {
+        at_depth_[OrderPos(order, tries_[a].var_at(d))].push_back(a);
+      }
+    }
+    assign_.resize(order.size(), 0);
+  }
+
+  int64_t Run() {
+    Recurse(0, 1);
+    return total_;
+  }
+
+ private:
+  void Recurse(size_t depth, int64_t acc) {
+    if (depth == order_.size()) {
+      total_ += acc;
+      if (sink_) sink_(assign_, acc);
+      return;
+    }
+    const auto& atoms = at_depth_[depth];
+    if (atoms.empty()) {
+      // Variable not in any atom (cannot happen for safe queries).
+      Recurse(depth + 1, acc);
+      return;
+    }
+    // Save the entry state of every participating atom; restored at exit.
+    std::vector<Frame> entry;
+    entry.reserve(atoms.size());
+    for (size_t a : atoms) {
+      entry.push_back(
+          Frame{a, states_[a].begin, states_[a].end, states_[a].level});
+    }
+    // Iterate the leapfrog intersection of the atoms' value lists.
+    for (;;) {
+      bool exhausted = false;
+      for (size_t a : atoms) {
+        if (states_[a].begin >= states_[a].end) {
+          exhausted = true;
+          break;
+        }
+      }
+      if (exhausted) break;
+      Value v = states_[atoms[0]].trie->tuples()[states_[atoms[0]].begin]
+                                                [states_[atoms[0]].level];
+      size_t agree = 1;  // consecutive atoms agreeing on v
+      size_t i = 1 % atoms.size();
+      while (agree < atoms.size()) {
+        AtomState& st = states_[atoms[i]];
+        size_t pos = SeekLower(st, v);
+        if (pos >= st.end) {
+          exhausted = true;
+          break;
+        }
+        Value found = st.trie->tuples()[pos][st.level];
+        if (found == v) {
+          ++agree;
+        } else {
+          v = found;
+          agree = 1;
+        }
+        st.begin = pos;  // permanent narrowing is fine: values only grow
+        i = (i + 1) % atoms.size();
+      }
+      if (exhausted) break;
+      // All atoms agree on v: bind it, narrow to v's subranges, recurse.
+      assign_[depth] = v;
+      std::vector<Frame> frames;
+      frames.reserve(atoms.size());
+      int64_t next_acc = acc;
+      for (size_t a : atoms) {
+        AtomState& st = states_[a];
+        frames.push_back(Frame{a, st.begin, st.end, st.level});
+        size_t lo = SeekLower(st, v);
+        size_t hi = SeekUpper(st, v);
+        st.begin = lo;
+        st.end = hi;
+        ++st.level;
+        if (st.level == st.trie->depth()) {
+          // Atom fully bound: unique key => single tuple.
+          next_acc *= st.trie->payload(lo);
+        }
+      }
+      Recurse(depth + 1, next_acc);
+      // Restore ends/levels and advance past v.
+      for (const Frame& f : frames) {
+        AtomState& st = states_[f.atom];
+        st.end = f.saved_end;
+        st.level = f.saved_level;
+        st.begin = SeekUpper(st, v);  // skip v at this level
+      }
+    }
+    for (const Frame& f : entry) {
+      states_[f.atom].begin = f.saved_begin;
+      states_[f.atom].end = f.saved_end;
+      states_[f.atom].level = f.saved_level;
+    }
+  }
+
+  const std::vector<Var>& order_;
+  const std::function<void(const Tuple&, int64_t)>& sink_;
+  std::vector<TrieRelation> tries_;
+  std::vector<AtomState> states_;
+  std::vector<std::vector<size_t>> at_depth_;
+  Tuple assign_;
+  int64_t total_ = 0;
+};
+
+}  // namespace
+
+int64_t LeapfrogJoin(
+    const Query& q, const std::vector<const Relation<IntRing>*>& rels,
+    const std::vector<Var>& var_order,
+    const std::function<void(const Tuple&, int64_t)>& sink) {
+  INCR_CHECK(rels.size() == q.atoms().size());
+  for (const Atom& a : q.atoms()) {
+    INCR_CHECK(a.schema.size() > 0);
+    for (Var v : a.schema) {
+      bool found = false;
+      for (Var o : var_order) found = found || o == v;
+      INCR_CHECK(found);
+    }
+  }
+  Leapfrog lf(q, rels, var_order, sink);
+  return lf.Run();
+}
+
+int64_t LeapfrogCount(const Query& q,
+                      const std::vector<const Relation<IntRing>*>& rels,
+                      const std::vector<Var>& var_order) {
+  return LeapfrogJoin(q, rels, var_order, nullptr);
+}
+
+}  // namespace incr

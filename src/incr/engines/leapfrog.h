@@ -1,0 +1,64 @@
+// Leapfrog Triejoin (Veldhuizen; paper §4.6): a worst-case optimal
+// multi-way join. Used here as the recomputation core that, combined with
+// delta queries, achieves the best known update time for arbitrary join
+// queries in the insert-only setting, and as an independent oracle for the
+// maintenance engines.
+//
+// Each relation is materialized as a trie: its tuples sorted by the global
+// variable order restricted to the relation's schema. The join proceeds
+// variable by variable, leapfrogging the participating tries through their
+// current ranges with galloping seeks.
+#ifndef INCR_ENGINES_LEAPFROG_H_
+#define INCR_ENGINES_LEAPFROG_H_
+
+#include <functional>
+#include <vector>
+
+#include "incr/data/relation.h"
+#include "incr/query/query.h"
+#include "incr/ring/int_ring.h"
+
+namespace incr {
+
+/// A relation materialized as a sorted trie over a variable order.
+class TrieRelation {
+ public:
+  /// `schema` is the relation's schema; `var_order` the global variable
+  /// order (every schema variable must occur in it). Tuples are reordered
+  /// to follow `var_order` and sorted.
+  TrieRelation(const Schema& schema, const std::vector<Var>& var_order,
+               const Relation<IntRing>& rel);
+
+  /// Depth (number of trie levels) = arity.
+  size_t depth() const { return depth_vars_.size(); }
+
+  /// The variable at trie level d (in global-order position).
+  Var var_at(size_t d) const { return depth_vars_[d]; }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  int64_t payload(size_t idx) const { return payloads_[idx]; }
+
+ private:
+  Schema depth_vars_;  // schema reordered by the global order
+  std::vector<Tuple> tuples_;  // reordered + sorted
+  std::vector<int64_t> payloads_;
+};
+
+/// Enumerates the natural join of `rels` (parallel to q.atoms()) over
+/// `var_order`, calling `sink(assignment, payload)` with assignments over
+/// `var_order`. Returns the total payload (the count aggregate). `sink`
+/// may be null.
+int64_t LeapfrogJoin(
+    const Query& q, const std::vector<const Relation<IntRing>*>& rels,
+    const std::vector<Var>& var_order,
+    const std::function<void(const Tuple&, int64_t)>& sink);
+
+/// Worst-case-optimal count SUM PROD R_i for the query (all variables
+/// aggregated).
+int64_t LeapfrogCount(const Query& q,
+                      const std::vector<const Relation<IntRing>*>& rels,
+                      const std::vector<Var>& var_order);
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_LEAPFROG_H_

@@ -1,0 +1,73 @@
+// MixedStaticDynamicEngine<R>: maintenance of a query over a mix of static
+// and dynamic relations (paper §4.5, Ex. 4.14).
+//
+// Lifecycle: construct via Make (which searches for a mixed-tractable
+// variable order), LoadStatic/LoadDynamic the initial database, Seal()
+// (O(|D|)-style preprocessing: bulk view build), then stream UpdateDynamic.
+// Updates to static atoms are rejected with FailedPrecondition.
+#ifndef INCR_ENGINES_MIXED_ENGINE_H_
+#define INCR_ENGINES_MIXED_ENGINE_H_
+
+#include <utility>
+#include <vector>
+
+#include "incr/core/view_tree.h"
+#include "incr/query/static_dynamic.h"
+
+namespace incr {
+
+template <RingType R>
+class MixedStaticDynamicEngine {
+ public:
+  using RV = typename R::Value;
+
+  static StatusOr<MixedStaticDynamicEngine> Make(
+      const Query& q, std::vector<bool> is_static) {
+    auto vo = FindMixedOrder(q, is_static);
+    if (!vo.ok()) return vo.status();
+    auto tree = ViewTree<R>::Make(q, *std::move(vo));
+    if (!tree.ok()) return tree.status();
+    return MixedStaticDynamicEngine(*std::move(tree), std::move(is_static));
+  }
+
+  /// Loads initial tuples (static or dynamic atoms) before Seal().
+  void Load(size_t atom_id, const Tuple& t, const RV& m) {
+    INCR_CHECK(!sealed_);
+    tree_.LoadAtom(atom_id, t, m);
+  }
+
+  /// Preprocessing: builds all views bottom-up.
+  void Seal() {
+    INCR_CHECK(!sealed_);
+    tree_.Rebuild();
+    sealed_ = true;
+  }
+
+  /// Single-tuple update to a dynamic atom; O(1) by construction of the
+  /// mixed order. Static atoms are rejected.
+  Status UpdateDynamic(size_t atom_id, const Tuple& t, const RV& m) {
+    INCR_CHECK(sealed_);
+    if (is_static_[atom_id]) {
+      return Status::FailedPrecondition(
+          "atom is adorned static; updates are not supported in this "
+          "maintenance window");
+    }
+    tree_.UpdateAtom(atom_id, t, m);
+    return Status::Ok();
+  }
+
+  const ViewTree<R>& tree() const { return tree_; }
+  RV Aggregate() const { return tree_.Aggregate(); }
+
+ private:
+  MixedStaticDynamicEngine(ViewTree<R> tree, std::vector<bool> is_static)
+      : tree_(std::move(tree)), is_static_(std::move(is_static)) {}
+
+  ViewTree<R> tree_;
+  std::vector<bool> is_static_;
+  bool sealed_ = false;
+};
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_MIXED_ENGINE_H_

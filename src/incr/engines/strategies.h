@@ -1,0 +1,225 @@
+// The four IVM strategies compared in paper §4.1 (Fig. 4), all built over
+// the same (best) view tree, differing along two axes:
+//
+//   eager vs lazy:  propagate updates through the view tree immediately, or
+//                   buffer them and only touch base relations until an
+//                   enumeration request arrives;
+//   fact vs list:   keep the query output factorized over the views, or
+//                   materialize it as a flat list of tuples.
+//
+//   EagerFactStrategy  (F-IVM):      O(1)/update for q-hierarchical,
+//                                    constant-delay factorized enumeration.
+//   EagerListStrategy  (DBToaster):  every update also refreshes a
+//                                    materialized output list via delta
+//                                    enumeration — pays O(|affected output|)
+//                                    per update.
+//   LazyFactStrategy   (hybrid):     updates are buffered; an enumeration
+//                                    request flushes them through the view
+//                                    tree, then enumerates factorized.
+//   LazyListStrategy   (delta-style recompute): only base relations are
+//                                    maintained; an enumeration request
+//                                    rebuilds the output from scratch.
+#ifndef INCR_ENGINES_STRATEGIES_H_
+#define INCR_ENGINES_STRATEGIES_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "incr/core/view_tree.h"
+#include "incr/ring/ring.h"
+
+namespace incr {
+
+/// Common interface of the Fig. 4 strategies.
+template <RingType R>
+class IvmStrategy {
+ public:
+  using RV = typename R::Value;
+  using Sink = std::function<void(const Tuple&, const RV&)>;
+
+  virtual ~IvmStrategy() = default;
+
+  /// Applies a single-tuple delta to an atom's relation.
+  virtual void Update(size_t atom_id, const Tuple& t, const RV& m) = 0;
+
+  /// Enumerates the full current output; returns the number of tuples.
+  /// Pass a null sink to only count (benchmarks).
+  virtual size_t Enumerate(const Sink& sink) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// F-IVM: eager propagation, factorized output.
+template <RingType R>
+class EagerFactStrategy : public IvmStrategy<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmStrategy<R>::Sink;
+
+  explicit EagerFactStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
+    INCR_CHECK(tree_.plan().CanEnumerate().ok());
+  }
+
+  void Update(size_t atom_id, const Tuple& t, const RV& m) override {
+    tree_.UpdateAtom(atom_id, t, m);
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
+  }
+
+  const char* name() const override { return "eager-fact"; }
+
+  const ViewTree<R>& tree() const { return tree_; }
+
+ private:
+  ViewTree<R> tree_;
+};
+
+/// DBToaster-style: eager propagation plus a materialized output list,
+/// refreshed per update by enumerating the affected output tuples (those
+/// agreeing with the update on the atom's free variables) before and after
+/// the propagation.
+template <RingType R>
+class EagerListStrategy : public IvmStrategy<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmStrategy<R>::Sink;
+
+  explicit EagerListStrategy(ViewTree<R> tree)
+      : tree_(std::move(tree)), out_(tree_.OutputSchema()) {
+    INCR_CHECK(tree_.plan().CanEnumerate().ok());
+  }
+
+  void Update(size_t atom_id, const Tuple& t, const RV& m) override {
+    tree_.UpdateAtomWithDeltaEnum(
+        atom_id, t, m,
+        [&](const Tuple& out, const RV& before, const RV& now) {
+          out_.Apply(out, R::Add(now, R::Neg(before)));
+        });
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    if (sink) {
+      for (const auto& e : out_) sink(e.key, e.value);
+    }
+    return out_.size();
+  }
+
+  const char* name() const override { return "eager-list"; }
+
+  const Relation<R>& output() const { return out_; }
+
+ private:
+  static_assert(R::kHasNegation,
+                "eager-list needs additive inverses to retract old output");
+  ViewTree<R> tree_;
+  Relation<R> out_;
+};
+
+/// Hybrid of F-IVM and delta queries: buffer updates, flush through the
+/// view tree on demand, enumerate factorized.
+template <RingType R>
+class LazyFactStrategy : public IvmStrategy<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmStrategy<R>::Sink;
+
+  explicit LazyFactStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
+    INCR_CHECK(tree_.plan().CanEnumerate().ok());
+  }
+
+  void Update(size_t atom_id, const Tuple& t, const RV& m) override {
+    buffer_.push_back({atom_id, t, m});
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    for (const auto& u : buffer_) {
+      tree_.UpdateAtom(u.atom, u.tuple, u.delta);
+    }
+    buffer_.clear();
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
+  }
+
+  const char* name() const override { return "lazy-fact"; }
+
+ private:
+  struct Pending {
+    size_t atom;
+    Tuple tuple;
+    RV delta;
+  };
+  ViewTree<R> tree_;
+  std::vector<Pending> buffer_;
+};
+
+/// Delta-query recomputation: maintain only the base relations (O(1) per
+/// update); rebuild the full output from scratch (fresh view tree + list
+/// materialization) on every enumeration request.
+template <RingType R>
+class LazyListStrategy : public IvmStrategy<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmStrategy<R>::Sink;
+
+  explicit LazyListStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
+    INCR_CHECK(tree_.plan().CanEnumerate().ok());
+  }
+
+  void Update(size_t atom_id, const Tuple& t, const RV& m) override {
+    tree_.LoadAtom(atom_id, t, m);  // base relation only, no propagation
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    tree_.Rebuild();
+    size_t n = 0;
+    std::vector<std::pair<Tuple, RV>> list;
+    for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      list.emplace_back(it.tuple(), it.payload());  // materialize the list
+      ++n;
+    }
+    if (sink) {
+      for (const auto& [t, p] : list) sink(t, p);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "lazy-list"; }
+
+ private:
+  ViewTree<R> tree_;
+};
+
+/// Builds all four strategies over the same view tree (the canonical order
+/// when `vo` is null).
+template <RingType R>
+std::vector<std::unique_ptr<IvmStrategy<R>>> MakeAllStrategies(
+    const Query& q, const VariableOrder* vo = nullptr) {
+  std::vector<std::unique_ptr<IvmStrategy<R>>> out;
+  auto make_tree = [&] {
+    auto t = vo == nullptr ? ViewTree<R>::Make(q) : ViewTree<R>::Make(q, *vo);
+    INCR_CHECK(t.ok());
+    return *std::move(t);
+  };
+  out.push_back(std::make_unique<EagerListStrategy<R>>(make_tree()));
+  out.push_back(std::make_unique<EagerFactStrategy<R>>(make_tree()));
+  out.push_back(std::make_unique<LazyListStrategy<R>>(make_tree()));
+  out.push_back(std::make_unique<LazyFactStrategy<R>>(make_tree()));
+  return out;
+}
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_STRATEGIES_H_

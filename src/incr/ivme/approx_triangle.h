@@ -1,0 +1,74 @@
+// Approximate triangle counting under updates (paper §3.3's pointer [29]:
+// Lu & Tao, "Towards optimal dynamic indexes for approximate (and exact)
+// triangle counting"): trading accuracy for update time.
+//
+// Implementation: deterministic edge sparsification. Every tuple is
+// included in a sampled sub-database with probability p, decided by a hash
+// of the tuple (so a later delete makes exactly the same coin flip and the
+// sample stays consistent — no per-tuple state). The sample is maintained
+// exactly by an inner IVMe counter; the estimator scales the sampled count
+// by p^-3 (each triangle survives iff its three edges all survive,
+// independent across triangles' distinct edges).
+//
+//   E[Estimate()] = Count(),  updates cost a p-fraction of exact IVMe.
+#ifndef INCR_IVME_APPROX_TRIANGLE_H_
+#define INCR_IVME_APPROX_TRIANGLE_H_
+
+#include <cstdint>
+
+#include "incr/ivme/triangle.h"
+#include "incr/util/hash.h"
+
+namespace incr {
+
+class ApproxTriangleCounter {
+ public:
+  /// `p` in (0, 1]: sampling rate; `epsilon` for the inner IVMe counter.
+  ApproxTriangleCounter(double p, double epsilon, uint64_t seed)
+      : p_(p), threshold_(ThresholdFor(p)), seed_(seed), inner_(epsilon) {}
+
+  void Update(TriangleRel rel, Value x, Value y, int64_t m) {
+    if (!Sampled(rel, x, y)) return;
+    inner_.Update(rel, x, y, m);
+    ++sampled_updates_;
+  }
+
+  /// Unbiased estimator of the exact triangle count.
+  double Estimate() const {
+    return static_cast<double>(inner_.Count()) / (p_ * p_ * p_);
+  }
+
+  /// The exact count of the sampled sub-database.
+  int64_t SampledCount() const { return inner_.Count(); }
+
+  /// Fraction of updates that reached the inner counter.
+  int64_t sampled_updates() const { return sampled_updates_; }
+
+  double p() const { return p_; }
+
+ private:
+  static uint64_t ThresholdFor(double p) {
+    // p * 2^64 overflows uint64 at p = 1 (casting out-of-range doubles is
+    // UB); clamp explicitly.
+    if (p >= 1.0) return UINT64_MAX;
+    if (p <= 0.0) return 0;
+    return static_cast<uint64_t>(p * 18446744073709551616.0);  // p * 2^64
+  }
+
+  bool Sampled(TriangleRel rel, Value x, Value y) const {
+    uint64_t h = Mix64(seed_ ^ Mix64(static_cast<uint64_t>(rel)));
+    h = HashCombine(h, static_cast<uint64_t>(x));
+    h = HashCombine(h, static_cast<uint64_t>(y));
+    return h <= threshold_;
+  }
+
+  double p_;
+  uint64_t threshold_;
+  uint64_t seed_;
+  IvmEpsTriangleCounter inner_;
+  int64_t sampled_updates_ = 0;
+};
+
+}  // namespace incr
+
+#endif  // INCR_IVME_APPROX_TRIANGLE_H_

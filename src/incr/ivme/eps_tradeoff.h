@@ -1,0 +1,102 @@
+// IVMe for the simplest non-q-hierarchical query (paper §5, Fig. 7):
+//
+//   Q(A) = SUM_B R(A,B) * S(B)
+//
+// The trade-off engine of [20]: R is partitioned on B into light/heavy with
+// threshold theta ~ N^eps, and the view
+//
+//   V_L(A) = SUM_B R_L(A,B) * S(B)
+//
+// is materialized eagerly for the light part only. This realizes the whole
+// line between the lazy and eager extremes of Fig. 7:
+//
+//   preprocessing O(N);
+//   single-tuple update O(N^eps): dR touches one V_L entry; dS(b) touches
+//     the <= 2*theta entries of a light b and nothing for a heavy b;
+//   enumeration delay O(N^{1-eps}): each output group A sums V_L(A) plus
+//     one lookup per heavy B-value (at most ~2N^{1-eps} of them).
+//
+// eps=1 is the eager extreme (everything light: updates up to O(N), O(1)
+// delay); eps=0 is the lazy extreme (O(1) updates, O(N) delay); eps=1/2
+// touches the OMv-conditional lower-bound cuboid (weak Pareto optimality).
+//
+// Enumeration delay is *amortized*: candidates drawn from the heavy side
+// may evaluate to zero and be skipped (the worst-case-delay bookkeeping of
+// [20] is not implemented); with non-negative payloads only heavy-side
+// candidates whose every heavy partner is absent from S are skipped.
+#ifndef INCR_IVME_EPS_TRADEOFF_H_
+#define INCR_IVME_EPS_TRADEOFF_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "incr/data/relation.h"
+#include "incr/ivme/heavy_light.h"
+#include "incr/ring/int_ring.h"
+
+namespace incr {
+
+class EpsTradeoffEngine {
+ public:
+  using Sink = std::function<void(Value /*a*/, int64_t /*Q(a)*/)>;
+
+  explicit EpsTradeoffEngine(double epsilon);
+
+  /// O(N) preprocessing: computes degrees, partitions R, builds V_L in one
+  /// pass. Clears any existing state.
+  void BulkLoad(const std::vector<std::pair<Tuple, int64_t>>& r,
+                const std::vector<std::pair<Value, int64_t>>& s);
+
+  /// Single-tuple update to R: payload(a,b) += m. O(theta) amortized.
+  void UpdateR(Value a, Value b, int64_t m);
+
+  /// Single-tuple update to S: payload(b) += m. O(theta) worst-case for a
+  /// light b, O(1) for a heavy b.
+  void UpdateS(Value b, int64_t m);
+
+  /// Q(a) for one group: V_L(a) plus the heavy-side sum. O(#heavy keys).
+  int64_t QueryOne(Value a) const;
+
+  /// Enumerates all (a, Q(a)) with Q(a) != 0; returns the output size.
+  size_t Enumerate(const Sink& sink) const { return EnumerateLimit(0, sink); }
+
+  /// Like Enumerate but stops after emitting `limit` tuples (0 = no
+  /// limit). Used to measure per-tuple delay without paying for the whole
+  /// output.
+  size_t EnumerateLimit(size_t limit, const Sink& sink) const;
+
+  double epsilon() const { return epsilon_; }
+  int64_t theta() const { return r_->theta(); }
+  size_t NumHeavyKeys() const { return r_->heavy_keys().size(); }
+  int64_t num_migrations() const { return migrations_; }
+  int64_t num_major_rebalances() const { return major_rebalances_; }
+  size_t Size() const { return r_->size() + s_.size(); }
+
+  /// Partition invariants plus V_L == its definition (tests).
+  bool InvariantsHold() const;
+
+ private:
+  static int64_t Theta(double epsilon, int64_t n);
+
+  /// Adds (sign=+1) or removes (sign=-1) key b's light-part contributions
+  /// to V_L.
+  void ApplyGroupToView(Value b, int64_t sign);
+  void MaybeMigrate(Value b);
+  void MaybeMajorRebalance();
+
+  double epsilon_;
+  // R stored as (B, A): the partition key (B) first.
+  std::unique_ptr<HeavyLightRelation> r_;
+  Relation<IntRing> s_;    // schema (B)
+  Relation<IntRing> v_l_;  // schema (A)
+  int64_t n0_ = 0;
+  int64_t migrations_ = 0;
+  int64_t major_rebalances_ = 0;
+};
+
+}  // namespace incr
+
+#endif  // INCR_IVME_EPS_TRADEOFF_H_

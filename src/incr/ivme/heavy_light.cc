@@ -1,0 +1,94 @@
+#include "incr/ivme/heavy_light.h"
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+Relation<IntRing> MakePart() {
+  Relation<IntRing> r(Schema{0, 1});
+  size_t by_key = r.AddIndex(Schema{0});
+  size_t by_other = r.AddIndex(Schema{1});
+  INCR_CHECK(by_key == HeavyLightRelation::kByKey);
+  INCR_CHECK(by_other == HeavyLightRelation::kByOther);
+  return r;
+}
+}  // namespace
+
+HeavyLightRelation::HeavyLightRelation(int64_t theta)
+    : theta_(theta), parts_{MakePart(), MakePart()} {
+  INCR_CHECK(theta_ >= 1);
+}
+
+HeavyLightRelation::Part HeavyLightRelation::Apply(Value key, Value other,
+                                                   int64_t d) {
+  if (d == 0) return PartOf(key);
+  Part p = PartOf(key);
+  Relation<IntRing>& rel = parts_[p];
+  Tuple t{key, other};
+  bool existed = rel.Contains(t);
+  rel.Apply(t, d);
+  bool exists = rel.Contains(t);
+  if (existed != exists) {
+    int64_t& deg = degrees_.GetOrInsert(key, 0);
+    deg += exists ? 1 : -1;
+    INCR_DCHECK(deg >= 0);
+    if (deg == 0 && p == kLight) degrees_.Erase(key);
+  }
+  return p;
+}
+
+void HeavyLightRelation::Migrate(Value key) {
+  Part from = PartOf(key);
+  Part to = from == kLight ? kHeavy : kLight;
+  // Copy the group out first: Apply mutates the index we'd be iterating.
+  std::vector<Tuple> group;
+  const std::vector<Tuple>* g = parts_[from].index(kByKey).Group(Tuple{key});
+  if (g != nullptr) group = *g;
+  for (const Tuple& t : group) {
+    int64_t payload = parts_[from].Payload(t);
+    parts_[from].Apply(t, -payload);
+    parts_[to].Apply(t, payload);
+  }
+  if (to == kHeavy) {
+    heavy_keys_.GetOrInsert(key, 1);
+  } else {
+    heavy_keys_.Erase(key);
+    if (Degree(key) == 0) degrees_.Erase(key);
+  }
+}
+
+int64_t HeavyLightRelation::Payload(Value key, Value other) const {
+  return parts_[PartOf(key)].Payload(Tuple{key, other});
+}
+
+const std::vector<Tuple>* HeavyLightRelation::Group(Value key) const {
+  return parts_[PartOf(key)].index(kByKey).Group(Tuple{key});
+}
+
+void HeavyLightRelation::ExtractAll(
+    std::vector<std::pair<Tuple, int64_t>>* out) const {
+  for (int p = 0; p < 2; ++p) {
+    for (const auto& e : parts_[p]) out->emplace_back(e.key, e.value);
+  }
+}
+
+bool HeavyLightRelation::InvariantsHold() const {
+  // Light keys: degree < 2*theta. Heavy keys: 2*degree >= theta.
+  for (const auto& e : parts_[kLight].index(kByKey).groups()) {
+    Value key = e.key[0];
+    if (heavy_keys_.Find(key) != nullptr) return false;  // parts overlap
+    if (Degree(key) >= 2 * theta_) return false;
+    if (static_cast<int64_t>(e.value.size()) != Degree(key)) return false;
+  }
+  for (const auto& e : heavy_keys_) {
+    if (2 * Degree(e.key) < theta_) return false;
+  }
+  // Every heavy part group's key must be marked heavy.
+  for (const auto& e : parts_[kHeavy].index(kByKey).groups()) {
+    if (heavy_keys_.Find(e.key[0]) == nullptr) return false;
+  }
+  return true;
+}
+
+}  // namespace incr

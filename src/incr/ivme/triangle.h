@@ -1,0 +1,166 @@
+// Maintainers for the triangle count query of paper §3:
+//
+//   Q = SUM_{A,B,C} R(A,B) * S(B,C) * T(C,A)
+//
+// over the ring of integers. Four strategies, matching the paper's
+// exposition and complexity claims for a single-tuple update on a database
+// of size N:
+//
+//   NaiveTriangleCounter         recompute on demand       O(N^{3/2}) query
+//   DeltaTriangleCounter         first-order deltas (§3.1) O(N) update
+//   MaterializedTriangleCounter  V_ST = S x T (§3.2)       O(1) for dR,
+//                                                          O(N) for dS/dT
+//   IvmEpsTriangleCounter        IVMe heavy/light (§3.3)   O(N^max(e,1-e)),
+//                                                          O(sqrt N) at e=1/2
+//
+// All four maintain exact counts under arbitrary interleavings of inserts
+// and deletes; IvmEps additionally performs minor rebalancing (key
+// migrations) and major rebalancing (threshold reset on 2x size drift).
+#ifndef INCR_IVME_TRIANGLE_H_
+#define INCR_IVME_TRIANGLE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "incr/data/relation.h"
+#include "incr/ivme/heavy_light.h"
+#include "incr/ring/int_ring.h"
+
+namespace incr {
+
+/// The three relations of the triangle query. Column convention: R(A,B),
+/// S(B,C), T(C,A) — each relation's *first* column is its partition key in
+/// the IVMe strategy (A, B, C respectively).
+enum class TriangleRel { kR = 0, kS = 1, kT = 2 };
+
+/// Common interface of all triangle-count maintainers.
+class TriangleCounter {
+ public:
+  virtual ~TriangleCounter() = default;
+
+  /// Applies a single-tuple update: payload(rel, (x,y)) += m.
+  virtual void Update(TriangleRel rel, Value x, Value y, int64_t m) = 0;
+
+  /// The current count SUM R*S*T. O(1) for all but the naive strategy.
+  virtual int64_t Count() const = 0;
+
+  /// True iff the count is positive: triangle *detection*, the Boolean
+  /// query Q_b of §3.4.
+  bool Detect() const { return Count() > 0; }
+
+  virtual const char* name() const = 0;
+};
+
+/// Recomputes the count from scratch on every Count() call, using sorted
+/// intersection of adjacency lists (worst-case O(N^{3/2})-style evaluation).
+class NaiveTriangleCounter : public TriangleCounter {
+ public:
+  NaiveTriangleCounter();
+  void Update(TriangleRel rel, Value x, Value y, int64_t m) override;
+  int64_t Count() const override;
+  const char* name() const override { return "recompute"; }
+
+  size_t Size() const { return r_.size() + s_.size() + t_.size(); }
+
+ private:
+  Relation<IntRing> r_, s_, t_;  // each indexed by col0 (id 0), col1 (id 1)
+};
+
+/// First-order delta queries (§3.1): on dR(a,b), adds
+/// m * SUM_C S(b,C)*T(C,a) by scanning the smaller adjacency list.
+class DeltaTriangleCounter : public TriangleCounter {
+ public:
+  DeltaTriangleCounter();
+  void Update(TriangleRel rel, Value x, Value y, int64_t m) override;
+  int64_t Count() const override { return count_; }
+  const char* name() const override { return "delta"; }
+
+ private:
+  Relation<IntRing> r_, s_, t_;
+  int64_t count_ = 0;
+};
+
+/// Higher-order maintenance with one materialized view (§3.2, Ex. 3.2):
+/// V_ST(B,A) = SUM_C S(B,C)*T(C,A). Updates to R are O(1); updates to S and
+/// T must also maintain V_ST and cost O(N).
+class MaterializedTriangleCounter : public TriangleCounter {
+ public:
+  MaterializedTriangleCounter();
+  void Update(TriangleRel rel, Value x, Value y, int64_t m) override;
+  int64_t Count() const override { return count_; }
+  const char* name() const override { return "materialized"; }
+
+  /// |V_ST|, the extra storage the paper prices at O(N^2).
+  size_t ViewSize() const { return v_st_.size(); }
+
+ private:
+  Relation<IntRing> r_, s_, t_;
+  Relation<IntRing> v_st_;  // schema (B, A)
+  int64_t count_ = 0;
+};
+
+/// The adaptive IVMe maintainer (§3.3): heavy/light partitioning of all
+/// three relations with three auxiliary views
+///   V_ST(B,A) = SUM_C S_H(B,C)*T_L(C,A)   (serves dR with heavy B)
+///   V_TR(C,B) = SUM_A T_H(C,A)*R_L(A,B)   (serves dS with heavy C)
+///   V_RS(A,C) = SUM_B R_H(A,B)*S_L(B,C)   (serves dT with heavy A)
+/// and amortized rebalancing. Worst-case single-tuple update time
+/// O(N^max(eps,1-eps)); eps = 1/2 gives the optimal O(sqrt N) (Thm. 3.4).
+class IvmEpsTriangleCounter : public TriangleCounter {
+ public:
+  /// `epsilon` in [0,1] selects the heavy/light threshold N^epsilon.
+  explicit IvmEpsTriangleCounter(double epsilon);
+  void Update(TriangleRel rel, Value x, Value y, int64_t m) override;
+  int64_t Count() const override { return count_; }
+  const char* name() const override { return "ivm-eps"; }
+
+  double epsilon() const { return epsilon_; }
+  int64_t theta() const { return rels_[0]->theta(); }
+  int64_t num_major_rebalances() const { return major_rebalances_; }
+  int64_t num_migrations() const { return migrations_; }
+  /// Current number of heavy partition keys of relation i (0=R,1=S,2=T).
+  size_t NumHeavyKeys(int i) const { return rels_[i]->heavy_keys().size(); }
+
+  /// Partition + view invariants; exercised by the property tests.
+  bool InvariantsHold() const;
+
+ private:
+  // Relations in TriangleRel order; rels_[i] joins rels_[(i+1)%3] on the
+  // latter's partition key, cyclically: R(A,B), S(B,C), T(C,A).
+  // views_[i] covers updates to rels_[i] whose join key is heavy in
+  // rels_[(i+1)%3] and light in rels_[(i+2)%3]:
+  //   views_[0] = V_ST, views_[1] = V_TR, views_[2] = V_RS.
+  std::unique_ptr<HeavyLightRelation> rels_[3];
+  Relation<IntRing> views_[3];
+  double epsilon_;
+  int64_t n0_ = 0;  // database size at last major rebalance
+  int64_t count_ = 0;
+  int64_t major_rebalances_ = 0;
+  int64_t migrations_ = 0;
+
+  static int64_t Theta(double epsilon, int64_t n);
+
+  /// m * SUM_y next(key,y)*nextnext(y,close): the delta-count contribution
+  /// of a single-tuple update to rels_[i] with tuple (x=close-side... ).
+  int64_t DeltaCount(int i, Value x, Value y, int64_t m) const;
+
+  /// Adds `sign`* contributions of tuple (x,y) of rels_[i] (in part `part`)
+  /// to the one view that involves that part of rels_[i].
+  void MaintainViews(int i, HeavyLightRelation::Part part, Value x, Value y,
+                     int64_t d);
+
+  /// Minor rebalance of rels_[i]'s `key` if thresholds are crossed.
+  void MaybeMigrate(int i, Value key);
+
+  /// Adds (`sign`=+1) or removes (-1) all view contributions of rels_[i]'s
+  /// current group of `key`, interpreting the group as being in `as_part`.
+  void ApplyGroupToViews(int i, HeavyLightRelation::Part as_part, Value key,
+                         int64_t sign);
+
+  void MaybeMajorRebalance();
+  void RebuildViews();
+};
+
+}  // namespace incr
+
+#endif  // INCR_IVME_TRIANGLE_H_

@@ -1,0 +1,85 @@
+#include "incr/lowerbound/oumv.h"
+
+namespace incr {
+
+OuMvInstance::OuMvInstance(size_t n, double density, uint64_t seed)
+    : n_(n), words_((n + 63) / 64) {
+  Rng rng(seed);
+  auto fill = [&](std::vector<uint64_t>& bits) {
+    bits.assign(n_ * words_, 0);
+    for (size_t r = 0; r < n_; ++r) {
+      for (size_t c = 0; c < n_; ++c) {
+        if (rng.Chance(density)) {
+          bits[r * words_ + c / 64] |= uint64_t{1} << (c % 64);
+        }
+      }
+    }
+  };
+  fill(matrix_);
+  fill(us_);
+  fill(vs_);
+}
+
+std::vector<bool> SolveOuMvDirect(const OuMvInstance& inst) {
+  size_t n = inst.n();
+  size_t w = inst.words();
+  std::vector<bool> out(n, false);
+  for (size_t round = 0; round < n; ++round) {
+    const uint64_t* v = inst.VRow(round);
+    bool hit = false;
+    for (size_t i = 0; i < n && !hit; ++i) {
+      if (!inst.U(round, i)) continue;
+      const uint64_t* row = inst.MatrixRow(i);
+      for (size_t k = 0; k < w; ++k) {
+        if (row[k] & v[k]) {
+          hit = true;
+          break;
+        }
+      }
+    }
+    out[round] = hit;
+  }
+  return out;
+}
+
+std::vector<bool> SolveOuMvViaIvm(const OuMvInstance& inst,
+                                  TriangleCounter* counter) {
+  size_t n = inst.n();
+  const Value a = -1;  // the constant vertex of the construction
+  // Step 1: S(i,j) = M[i,j].
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (inst.Matrix(i, j)) {
+        counter->Update(TriangleRel::kS, static_cast<Value>(i),
+                        static_cast<Value>(j), 1);
+      }
+    }
+  }
+  std::vector<bool> out(n, false);
+  std::vector<Value> live_r, live_t;
+  for (size_t round = 0; round < n; ++round) {
+    // Steps 2a/2b: delete the previous round's R and T tuples, insert the
+    // new vectors' tuples — at most 4n single-tuple updates.
+    for (Value i : live_r) counter->Update(TriangleRel::kR, a, i, -1);
+    for (Value j : live_t) counter->Update(TriangleRel::kT, j, a, -1);
+    live_r.clear();
+    live_t.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (inst.U(round, i)) {
+        counter->Update(TriangleRel::kR, a, static_cast<Value>(i), 1);
+        live_r.push_back(static_cast<Value>(i));
+      }
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (inst.V(round, j)) {
+        counter->Update(TriangleRel::kT, static_cast<Value>(j), a, 1);
+        live_t.push_back(static_cast<Value>(j));
+      }
+    }
+    // Step 2c: u^T M v == Q_b.
+    out[round] = counter->Detect();
+  }
+  return out;
+}
+
+}  // namespace incr

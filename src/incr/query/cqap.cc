@@ -1,0 +1,174 @@
+#include "incr/query/cqap.h"
+
+#include <algorithm>
+#include <map>
+
+#include "incr/query/properties.h"
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+
+// Union-find over atom indexes.
+struct UnionFind {
+  std::vector<size_t> parent;
+  explicit UnionFind(size_t n) : parent(n) {
+    for (size_t i = 0; i < n; ++i) parent[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+Fracture ComputeFracture(const CqapQuery& q) {
+  const auto& atoms = q.query.atoms();
+  Var next_fresh = 0;
+  for (Var v : q.query.AllVars()) next_fresh = std::max(next_fresh, v + 1);
+
+  // Step 1: replace every *occurrence* of an input variable with a fresh
+  // variable (one per atom position).
+  struct Occurrence {
+    size_t atom;
+    uint32_t col;
+    Var original;
+    Var fresh;
+  };
+  std::vector<Occurrence> occs;
+  std::vector<Schema> schemas;
+  for (size_t ai = 0; ai < atoms.size(); ++ai) {
+    Schema s = atoms[ai].schema;
+    for (uint32_t c = 0; c < s.size(); ++c) {
+      if (SchemaContains(q.input, s[c])) {
+        occs.push_back({ai, c, s[c], next_fresh});
+        s[c] = next_fresh++;
+      }
+    }
+    schemas.push_back(s);
+  }
+
+  // Step 2: connected components of the modified query (atoms share only
+  // non-input variables now).
+  UnionFind uf(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      if (!SchemaIntersect(schemas[i], schemas[j]).empty()) uf.Union(i, j);
+    }
+  }
+
+  // Step 3: within each component, unify fresh variables originating from
+  // the same input variable into one fresh input variable per component.
+  std::map<std::pair<size_t, Var>, Var> unified;  // (component root, orig)
+  for (const Occurrence& o : occs) {
+    size_t root = uf.Find(o.atom);
+    auto key = std::make_pair(root, o.original);
+    auto it = unified.find(key);
+    Var target;
+    if (it == unified.end()) {
+      target = next_fresh++;
+      unified.emplace(key, target);
+    } else {
+      target = it->second;
+    }
+    // Rewrite the occurrence to the component's unified input variable.
+    for (Var& v : schemas[o.atom]) {
+      if (v == o.fresh) v = target;
+    }
+  }
+
+  // Assemble components.
+  Fracture out;
+  std::map<size_t, size_t> comp_of_root;
+  for (size_t ai = 0; ai < atoms.size(); ++ai) {
+    size_t root = uf.Find(ai);
+    auto it = comp_of_root.find(root);
+    if (it == comp_of_root.end()) {
+      comp_of_root.emplace(root, out.components.size());
+      out.components.emplace_back();
+    }
+  }
+  std::vector<std::vector<Atom>> comp_atoms(out.components.size());
+  for (size_t ai = 0; ai < atoms.size(); ++ai) {
+    size_t ci = comp_of_root[uf.Find(ai)];
+    comp_atoms[ci].push_back(Atom{atoms[ai].relation, schemas[ai]});
+    out.components[ci].atom_ids.push_back(ai);
+  }
+  for (const auto& [key, fresh] : unified) {
+    size_t ci = comp_of_root[key.first];
+    out.components[ci].inputs.emplace_back(fresh, key.second);
+  }
+
+  std::vector<Atom> all_atoms;
+  Schema all_free;
+  for (size_t ci = 0; ci < out.components.size(); ++ci) {
+    Fracture::Component& comp = out.components[ci];
+    Schema comp_free;
+    for (const auto& [fresh, orig] : comp.inputs) {
+      comp_free.push_back(fresh);
+      out.fractured_input.push_back(fresh);
+    }
+    for (const Atom& a : comp_atoms[ci]) {
+      for (Var v : a.schema) {
+        if (SchemaContains(q.output, v) && !SchemaContains(comp.output, v)) {
+          comp.output.push_back(v);
+        }
+      }
+    }
+    for (Var v : comp.output) comp_free.push_back(v);
+    comp.query = Query(q.query.name() + "_c" + std::to_string(ci), comp_free,
+                       comp_atoms[ci]);
+    for (const Atom& a : comp_atoms[ci]) all_atoms.push_back(a);
+    for (Var v : comp_free) all_free.push_back(v);
+  }
+  out.fractured =
+      Query(q.query.name() + "_fracture", all_free, std::move(all_atoms));
+  return out;
+}
+
+bool IsFreeDominant(const Query& q) {
+  Schema vars = q.AllVars();
+  for (Var a : vars) {
+    if (!q.IsFree(a)) continue;
+    auto atoms_a = q.AtomsContaining(a);
+    for (Var b : vars) {
+      if (a == b || q.IsFree(b)) continue;
+      auto atoms_b = q.AtomsContaining(b);
+      // b dominates a: atoms(a) strict subset of atoms(b).
+      bool subset = std::includes(atoms_b.begin(), atoms_b.end(),
+                                  atoms_a.begin(), atoms_a.end());
+      if (subset && atoms_b.size() > atoms_a.size()) return false;
+    }
+  }
+  return true;
+}
+
+bool IsInputDominant(const Query& q, const Schema& input) {
+  Schema vars = q.AllVars();
+  for (Var a : vars) {
+    if (!SchemaContains(input, a)) continue;
+    auto atoms_a = q.AtomsContaining(a);
+    for (Var b : vars) {
+      if (a == b || SchemaContains(input, b)) continue;
+      auto atoms_b = q.AtomsContaining(b);
+      bool subset = std::includes(atoms_b.begin(), atoms_b.end(),
+                                  atoms_a.begin(), atoms_a.end());
+      if (subset && atoms_b.size() > atoms_a.size()) return false;
+    }
+  }
+  return true;
+}
+
+bool IsTractableCqap(const CqapQuery& q) {
+  Fracture f = ComputeFracture(q);
+  return IsHierarchical(f.fractured) && IsFreeDominant(f.fractured) &&
+         IsInputDominant(f.fractured, f.fractured_input);
+}
+
+}  // namespace incr

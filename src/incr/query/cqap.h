@@ -1,0 +1,80 @@
+// Conjunctive queries with free access patterns — CQAPs (paper §4.3,
+// [Kara, Nikolic, Olteanu, Zhang]): the free variables are split into
+// *input* variables, whose values arrive with each access request, and
+// *output* variables, enumerated per request.
+//
+// This module implements the fracture construction (Def. 4.7) and the
+// syntactic tractability test of Thm. 4.8: a CQAP admits O(|D|)
+// preprocessing, O(1) update and O(1) enumeration delay iff its fracture is
+// hierarchical, free-dominant and input-dominant.
+#ifndef INCR_QUERY_CQAP_H_
+#define INCR_QUERY_CQAP_H_
+
+#include <utility>
+#include <vector>
+
+#include "incr/query/query.h"
+
+namespace incr {
+
+/// A CQAP Q(output | input) = PROD_i R_i(S_i) with bound variables
+/// aggregated away. `query.free()` must equal input + output.
+struct CqapQuery {
+  Query query;
+  Schema input;
+  Schema output;
+
+  /// Convenience constructor enforcing free = input + output.
+  static CqapQuery Make(std::string name, Schema input, Schema output,
+                        std::vector<Atom> atoms) {
+    Schema free = input;
+    for (Var v : output) free.push_back(v);
+    CqapQuery q;
+    q.query = Query(std::move(name), free, std::move(atoms));
+    q.input = std::move(input);
+    q.output = std::move(output);
+    return q;
+  }
+};
+
+/// The fracture Q_dagger of a CQAP (Def. 4.7), decomposed into connected
+/// components. Fresh variables are minted above the maximum var id in use.
+struct Fracture {
+  struct Component {
+    /// The component's query: free variables are its (fresh) input
+    /// variables followed by its (original) output variables.
+    Query query;
+    /// Original atom indexes that landed in this component.
+    std::vector<size_t> atom_ids;
+    /// Fresh input variables of this component paired with the original
+    /// input variable they derive from.
+    std::vector<std::pair<Var, Var>> inputs;  // (fresh, original)
+    /// Original output variables appearing in this component.
+    Schema output;
+  };
+
+  std::vector<Component> components;
+
+  /// The whole fractured query (union of the components), with its fresh
+  /// input variable set — the object Thm. 4.8's conditions inspect.
+  Query fractured;
+  Schema fractured_input;
+};
+
+/// Computes the fracture of `q`.
+Fracture ComputeFracture(const CqapQuery& q);
+
+/// B dominates A iff atoms(A) is a strict subset of atoms(B). The query is
+/// free-dominant if dominators of free variables are free.
+bool IsFreeDominant(const Query& q);
+
+/// Input-dominant: dominators of variables in `input` are in `input`.
+bool IsInputDominant(const Query& q, const Schema& input);
+
+/// Thm. 4.8 upper-bound side: the fracture is hierarchical, free-dominant
+/// and input-dominant.
+bool IsTractableCqap(const CqapQuery& q);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_CQAP_H_

@@ -1,0 +1,36 @@
+#include "incr/query/degree_constraints.h"
+
+#include "incr/query/properties.h"
+
+namespace incr {
+
+FdSet AsFds(const DegreeConstraintSet& constraints) {
+  FdSet fds;
+  fds.reserve(constraints.size());
+  for (const DegreeConstraint& dc : constraints) {
+    fds.push_back(Fd{dc.lhs, dc.rhs});
+  }
+  return fds;
+}
+
+bool IsQHierarchicalUnderDegreeConstraints(const Query& q,
+                                           const DegreeConstraintSet& dcs) {
+  return IsQHierarchicalUnderFds(q, AsFds(dcs));
+}
+
+Query ShatterSmallDomains(const Query& q, const Schema& small) {
+  std::vector<Atom> atoms;
+  for (const Atom& a : q.atoms()) {
+    Schema s = SchemaMinus(a.schema, small);
+    if (s.empty()) continue;  // a per-shard scalar factor
+    atoms.push_back(Atom{a.relation, s});
+  }
+  return Query(q.name() + "_residual", SchemaMinus(q.free(), small),
+               std::move(atoms));
+}
+
+bool IsQHierarchicalUnderSmallDomains(const Query& q, const Schema& small) {
+  return IsQHierarchical(ShatterSmallDomains(q, small));
+}
+
+}  // namespace incr

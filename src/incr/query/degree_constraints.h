@@ -1,0 +1,55 @@
+// Generalizations of the §4.4 functional-dependency rewriting:
+//
+// * Bounded-degree constraints: "an X-value is paired with at most k
+//   distinct Y-values in S" (an FD is the k=1 case). The Sigma-reduct
+//   argument goes through unchanged — extending each atom's schema by the
+//   determined variables blows the relation up by at most a constant
+//   factor k — so the classification is the FD classification and the
+//   FD-guided view tree's group scans are bounded by k instead of 1.
+//
+// * Small-domain constraints [5]: "a column has a constant number of
+//   values". A query with small-domain variables shatters: for each
+//   assignment of the small variables (constantly many) the residual
+//   query — the query with those variables deleted from every atom — is
+//   maintained independently. The whole query has the best possible
+//   maintenance iff the residual query is q-hierarchical.
+#ifndef INCR_QUERY_DEGREE_CONSTRAINTS_H_
+#define INCR_QUERY_DEGREE_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "incr/query/fd.h"
+#include "incr/query/query.h"
+
+namespace incr {
+
+/// lhs determines at most `bound` distinct rhs tuples.
+struct DegreeConstraint {
+  Schema lhs;
+  Schema rhs;
+  int64_t bound = 1;  // 1 == functional dependency
+};
+
+using DegreeConstraintSet = std::vector<DegreeConstraint>;
+
+/// The FD set forgetting the bounds (for reduct computation).
+FdSet AsFds(const DegreeConstraintSet& constraints);
+
+/// Thm. 4.11 generalized: q maintainable with O(1) updates and delay over
+/// databases satisfying the constraints, with constants scaling in the
+/// degree bounds.
+bool IsQHierarchicalUnderDegreeConstraints(const Query& q,
+                                           const DegreeConstraintSet& dcs);
+
+/// The residual query: `small` variables deleted from every atom schema
+/// and from the free tuple. Atoms whose schema becomes empty are dropped:
+/// per shard they degenerate to scalar factors, which are O(1) to
+/// maintain and do not affect the classification.
+Query ShatterSmallDomains(const Query& q, const Schema& small);
+
+/// Small-domain tractability: the residual query is q-hierarchical.
+bool IsQHierarchicalUnderSmallDomains(const Query& q, const Schema& small);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_DEGREE_CONSTRAINTS_H_

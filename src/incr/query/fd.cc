@@ -1,0 +1,48 @@
+#include "incr/query/fd.h"
+
+#include "incr/query/properties.h"
+
+namespace incr {
+
+Schema FdClosure(const FdSet& fds, const Schema& vars) {
+  Schema closure = vars;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Fd& fd : fds) {
+      if (!SchemaSubset(fd.lhs, closure)) continue;
+      for (Var v : fd.rhs) {
+        if (!SchemaContains(closure, v)) {
+          closure.push_back(v);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+Query SigmaReduct(const Query& q, const FdSet& fds) {
+  std::vector<Atom> atoms;
+  atoms.reserve(q.atoms().size());
+  for (const Atom& a : q.atoms()) {
+    atoms.push_back(Atom{a.relation, FdClosure(fds, a.schema)});
+  }
+  return Query(q.name() + "_reduct", FdClosure(fds, q.free()),
+               std::move(atoms));
+}
+
+bool IsQHierarchicalUnderFds(const Query& q, const FdSet& fds) {
+  return IsQHierarchical(SigmaReduct(q, fds));
+}
+
+StatusOr<VariableOrder> FdGuidedOrder(const Query& q, const FdSet& fds) {
+  Query reduct = SigmaReduct(q, fds);
+  if (!IsHierarchical(reduct)) {
+    return Status::FailedPrecondition(
+        "Sigma-reduct is not hierarchical; FDs do not help this query");
+  }
+  return VariableOrder::CanonicalFor(reduct, q);
+}
+
+}  // namespace incr

@@ -1,0 +1,47 @@
+// Functional dependencies (paper §4.4): closures, the Sigma-reduct of a
+// query (Def. 4.9), and the rewriting that lets non-(q-)hierarchical
+// queries be maintained with the best possible complexity when the database
+// satisfies the dependencies (Thm. 4.11, Ex. 4.10/4.12).
+#ifndef INCR_QUERY_FD_H_
+#define INCR_QUERY_FD_H_
+
+#include <vector>
+
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// A functional dependency lhs -> rhs.
+struct Fd {
+  Schema lhs;
+  Schema rhs;
+};
+
+using FdSet = std::vector<Fd>;
+
+/// C_Sigma(S): the closure of `vars` under `fds` (fixpoint of applying
+/// every dependency whose lhs is contained in the set).
+Schema FdClosure(const FdSet& fds, const Schema& vars);
+
+/// The Sigma-reduct of Q (Def. 4.9): every atom's schema — and the free
+/// variable tuple — is extended to its closure under `fds`.
+Query SigmaReduct(const Query& q, const FdSet& fds);
+
+/// True if the Sigma-reduct of `q` is q-hierarchical: by Thm. 4.11, `q` can
+/// then be maintained with O(|D|) preprocessing, O(1) update and O(1) delay
+/// over databases satisfying `fds`.
+bool IsQHierarchicalUnderFds(const Query& q, const FdSet& fds);
+
+/// Builds the maintenance variable order for `q` from its Sigma-reduct's
+/// canonical order (the view tree of Fig. 6): the forest of the reduct,
+/// with q's original atoms re-anchored on it. Propagation lookups that the
+/// reduct makes fully-keyed become group scans whose size the dependencies
+/// bound by a constant, so single-tuple updates stay O(1) on databases
+/// satisfying `fds`.
+StatusOr<VariableOrder> FdGuidedOrder(const Query& q, const FdSet& fds);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_FD_H_

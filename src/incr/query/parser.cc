@@ -1,0 +1,162 @@
+#include "incr/query/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace incr {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  /// Consumes `c` if it is next; returns whether it was.
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes an identifier ([A-Za-z_][A-Za-z0-9_]*); empty on failure.
+  std::string Ident() {
+    SkipWs();
+    size_t start = pos_;
+    auto is_start = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto is_cont = [&](char c) {
+      return is_start(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (pos_ < text_.size() && is_start(text_[pos_])) {
+      ++pos_;
+      while (pos_ < text_.size() && is_cont(text_[pos_])) ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status SyntaxError(const Lexer& lex, const std::string& what) {
+  return Status::InvalidArgument("parse error near offset " +
+                                 std::to_string(lex.pos()) + ": " + what);
+}
+
+// Parses "( v1, v2, ... )" (possibly empty); appends to `out`.
+Status ParseVarList(Lexer& lex, VarRegistry* vars, Schema* out,
+                    char terminator) {
+  bool first = true;
+  for (;;) {
+    if (lex.Eat(terminator)) return Status::Ok();
+    if (!first && !lex.Eat(',')) {
+      return SyntaxError(lex, "expected ',' or terminator in variable list");
+    }
+    std::string name = lex.Ident();
+    if (name.empty()) return SyntaxError(lex, "expected variable name");
+    out->push_back(vars->GetOrCreate(name));
+    first = false;
+  }
+}
+
+struct Head {
+  std::string name;
+  Schema output;
+  Schema input;
+  bool has_pipe = false;
+};
+
+StatusOr<Head> ParseHead(Lexer& lex, VarRegistry* vars) {
+  Head head;
+  head.name = lex.Ident();
+  if (head.name.empty()) return SyntaxError(lex, "expected query name");
+  if (!lex.Eat('(')) return SyntaxError(lex, "expected '(' after name");
+  // Output vars until ')' or '|'.
+  bool first = true;
+  for (;;) {
+    if (lex.Eat(')')) return head;
+    if (lex.Eat('|')) {
+      head.has_pipe = true;
+      break;
+    }
+    if (!first && !lex.Eat(',')) {
+      return SyntaxError(lex, "expected ',', '|' or ')' in head");
+    }
+    std::string name = lex.Ident();
+    if (name.empty()) return SyntaxError(lex, "expected variable in head");
+    head.output.push_back(vars->GetOrCreate(name));
+    first = false;
+  }
+  Status st = ParseVarList(lex, vars, &head.input, ')');
+  if (!st.ok()) return st;
+  return head;
+}
+
+StatusOr<std::vector<Atom>> ParseBody(Lexer& lex, VarRegistry* vars) {
+  if (!lex.Eat('=')) return SyntaxError(lex, "expected '='");
+  std::vector<Atom> atoms;
+  for (;;) {
+    std::string rel = lex.Ident();
+    if (rel.empty()) return SyntaxError(lex, "expected relation name");
+    if (!lex.Eat('(')) return SyntaxError(lex, "expected '(' after relation");
+    Atom atom;
+    atom.relation = rel;
+    Status st = ParseVarList(lex, vars, &atom.schema, ')');
+    if (!st.ok()) return st;
+    if (atom.schema.empty()) {
+      return SyntaxError(lex, "atoms need at least one variable");
+    }
+    atoms.push_back(std::move(atom));
+    if (lex.AtEnd()) return atoms;
+    if (!lex.Eat(',') && !lex.Eat('*')) {
+      return SyntaxError(lex, "expected ',' between atoms");
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text, VarRegistry* vars) {
+  Lexer lex(text);
+  auto head = ParseHead(lex, vars);
+  if (!head.ok()) return head.status();
+  if (head->has_pipe) {
+    return Status::InvalidArgument(
+        "head contains '|'; use ParseCqap for access-pattern queries");
+  }
+  auto atoms = ParseBody(lex, vars);
+  if (!atoms.ok()) return atoms.status();
+  return Query(head->name, head->output, *std::move(atoms));
+}
+
+StatusOr<CqapQuery> ParseCqap(std::string_view text, VarRegistry* vars) {
+  Lexer lex(text);
+  auto head = ParseHead(lex, vars);
+  if (!head.ok()) return head.status();
+  auto atoms = ParseBody(lex, vars);
+  if (!atoms.ok()) return atoms.status();
+  return CqapQuery::Make(head->name, head->input, head->output,
+                         *std::move(atoms));
+}
+
+}  // namespace incr

@@ -1,0 +1,30 @@
+// A small text syntax for conjunctive queries with group-by aggregates,
+// used by the REPL example and handy in tests:
+//
+//   Q(A, B, C) = R(A, B), S(B, C)        free variables in the head
+//   Count() = R(A, B), S(B, C)           fully aggregated (Boolean/count)
+//   Q(A | B) = S(A, B), T(B)             CQAP: output | input
+//
+// Variable names are registered in the caller's VarRegistry; relation
+// names are arbitrary identifiers. Whitespace is insignificant.
+#ifndef INCR_QUERY_PARSER_H_
+#define INCR_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "incr/query/cqap.h"
+#include "incr/query/query.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// Parses "Name(vars) = Atom(vars), Atom(vars), ...".
+StatusOr<Query> ParseQuery(std::string_view text, VarRegistry* vars);
+
+/// Parses the CQAP form "Name(out | in) = ...". A head without '|' is a
+/// CQAP with empty input.
+StatusOr<CqapQuery> ParseCqap(std::string_view text, VarRegistry* vars);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_PARSER_H_

@@ -1,0 +1,116 @@
+#include "incr/query/properties.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace incr {
+
+namespace {
+
+// atoms(X) as a bitmask over atom indexes (queries here are small; the
+// classifiers are polynomial regardless).
+std::vector<uint64_t> AtomMasks(const Query& q, const Schema& vars) {
+  std::vector<uint64_t> masks;
+  masks.reserve(vars.size());
+  for (Var v : vars) {
+    uint64_t m = 0;
+    for (size_t i = 0; i < q.atoms().size(); ++i) {
+      if (SchemaContains(q.atoms()[i].schema, v)) m |= uint64_t{1} << i;
+    }
+    masks.push_back(m);
+  }
+  return masks;
+}
+
+bool GyoReduces(std::vector<Schema> edges) {
+  // GYO: repeat (a) drop variables that occur in exactly one edge,
+  // (b) drop edges contained in another edge; acyclic iff all edges vanish
+  // (or only empty edges remain).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // (a) isolated-variable elimination.
+    for (size_t i = 0; i < edges.size(); ++i) {
+      Schema kept;
+      for (Var v : edges[i]) {
+        int occurrences = 0;
+        for (const Schema& e : edges) {
+          if (SchemaContains(e, v)) ++occurrences;
+        }
+        if (occurrences > 1) kept.push_back(v);
+      }
+      if (kept.size() != edges[i].size()) {
+        edges[i] = kept;
+        changed = true;
+      }
+    }
+    // (b) remove edges subsumed by another edge (including empty edges).
+    for (size_t i = 0; i < edges.size(); ++i) {
+      bool subsumed = edges[i].empty();
+      for (size_t j = 0; !subsumed && j < edges.size(); ++j) {
+        if (i != j && SchemaSubset(edges[i], edges[j]) &&
+            !(SchemaSubset(edges[j], edges[i]) && j > i)) {
+          // Ties (equal edges) are broken by index so only one survives.
+          subsumed = true;
+        }
+      }
+      if (subsumed) {
+        edges.erase(edges.begin() + static_cast<long>(i));
+        changed = true;
+        --i;
+      }
+    }
+  }
+  return edges.empty();
+}
+
+}  // namespace
+
+bool IsHierarchical(const Query& q) {
+  Schema vars = q.AllVars();
+  std::vector<uint64_t> masks = AtomMasks(q, vars);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    for (size_t j = i + 1; j < masks.size(); ++j) {
+      uint64_t inter = masks[i] & masks[j];
+      if (inter == 0) continue;
+      if (inter != masks[i] && inter != masks[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool IsQHierarchical(const Query& q) {
+  if (!IsHierarchical(q)) return false;
+  Schema vars = q.AllVars();
+  std::vector<uint64_t> masks = AtomMasks(q, vars);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    for (size_t j = 0; j < vars.size(); ++j) {
+      if (i == j) continue;
+      // atoms(X_i) strict superset of atoms(X_j), X_j free => X_i free.
+      bool strict_superset =
+          (masks[i] & masks[j]) == masks[j] && masks[i] != masks[j];
+      if (strict_superset && q.IsFree(vars[j]) && !q.IsFree(vars[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsAlphaAcyclic(const Query& q) {
+  std::vector<Schema> edges;
+  edges.reserve(q.atoms().size());
+  for (const Atom& a : q.atoms()) edges.push_back(a.schema);
+  return GyoReduces(std::move(edges));
+}
+
+bool IsFreeConnex(const Query& q) {
+  if (!IsAlphaAcyclic(q)) return false;
+  std::vector<Schema> edges;
+  edges.reserve(q.atoms().size() + 1);
+  for (const Atom& a : q.atoms()) edges.push_back(a.schema);
+  edges.push_back(q.free());
+  return GyoReduces(std::move(edges));
+}
+
+}  // namespace incr

@@ -1,0 +1,32 @@
+// Structural query classifications driving the dichotomies of paper §4:
+// hierarchical and q-hierarchical (Def. 4.2 / Thm. 4.1), alpha-acyclicity
+// (GYO reduction), and free-connexity.
+#ifndef INCR_QUERY_PROPERTIES_H_
+#define INCR_QUERY_PROPERTIES_H_
+
+#include "incr/query/query.h"
+
+namespace incr {
+
+/// Def. 4.2: for any two variables X, Y: atoms(X) and atoms(Y) are
+/// comparable by inclusion or disjoint.
+bool IsHierarchical(const Query& q);
+
+/// Def. 4.2: hierarchical, and whenever atoms(X) is a strict superset of
+/// atoms(Y) with Y free, X is free too. Thm. 4.1: exactly the self-join-free
+/// CQs maintainable with O(N) preprocessing, O(1) update, O(1) delay.
+bool IsQHierarchical(const Query& q);
+
+/// Alpha-acyclicity via GYO reduction (repeatedly remove ear atoms and
+/// isolated variables until empty or stuck).
+bool IsAlphaAcyclic(const Query& q);
+
+/// Free-connex: alpha-acyclic and still alpha-acyclic after adding a
+/// virtual atom holding exactly the free variables. The q-hierarchical
+/// queries are a strict subclass of the free-connex alpha-acyclic queries
+/// (paper §4.1).
+bool IsFreeConnex(const Query& q);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_PROPERTIES_H_

@@ -1,0 +1,51 @@
+#include "incr/query/query.h"
+
+#include <unordered_set>
+
+namespace incr {
+
+Schema Query::AllVars() const {
+  Schema out;
+  for (const Atom& a : atoms_) {
+    for (Var v : a.schema) {
+      if (!SchemaContains(out, v)) out.push_back(v);
+    }
+  }
+  // Free variables that appear in no atom (unsafe queries) still count.
+  for (Var v : free_) {
+    if (!SchemaContains(out, v)) out.push_back(v);
+  }
+  return out;
+}
+
+Schema Query::BoundVars() const { return SchemaMinus(AllVars(), free_); }
+
+std::vector<size_t> Query::AtomsContaining(Var v) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (SchemaContains(atoms_[i].schema, v)) out.push_back(i);
+  }
+  return out;
+}
+
+bool Query::IsSelfJoinFree() const {
+  std::unordered_set<std::string> seen;
+  for (const Atom& a : atoms_) {
+    if (!seen.insert(a.relation).second) return false;
+  }
+  return true;
+}
+
+std::string Query::ToString(const VarRegistry& vars) const {
+  std::string out = name_.empty() ? "Q" : name_;
+  out += SchemaToString(free_, vars);
+  out += " = ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " * ";
+    out += atoms_[i].relation;
+    out += SchemaToString(atoms_[i].schema, vars);
+  }
+  return out;
+}
+
+}  // namespace incr

@@ -1,0 +1,62 @@
+// Query IR (paper §2): conjunctive queries with group-by aggregates,
+//
+//   Q(X_1..X_f) = SUM_{X_{f+1}} .. SUM_{X_m}  PROD_i R_i(S_i)
+//
+// represented as a set of atoms over variables plus the list of free
+// (group-by) variables. Aggregation semantics live in the engines; the IR
+// only carries structure, which is what all the §4 classifications inspect.
+#ifndef INCR_QUERY_QUERY_H_
+#define INCR_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "incr/data/schema.h"
+
+namespace incr {
+
+/// One atom R_i(S_i): a relation symbol applied to a tuple of variables.
+struct Atom {
+  std::string relation;
+  Schema schema;
+};
+
+/// A conjunctive query with free (group-by) variables.
+class Query {
+ public:
+  Query() = default;
+  Query(std::string name, Schema free, std::vector<Atom> atoms)
+      : name_(std::move(name)), free_(std::move(free)),
+        atoms_(std::move(atoms)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& free() const { return free_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  bool IsFree(Var v) const { return SchemaContains(free_, v); }
+
+  /// All variables, in first-occurrence order across atoms.
+  Schema AllVars() const;
+
+  /// Variables that are aggregated away.
+  Schema BoundVars() const;
+
+  /// atoms(X): indexes of the atoms whose schema contains `v`.
+  std::vector<size_t> AtomsContaining(Var v) const;
+
+  /// True if no relation symbol repeats (required by the dichotomies of
+  /// Thm. 4.1 and Thm. 4.8).
+  bool IsSelfJoinFree() const;
+
+  /// Renders e.g. "Q(A) = R(A,B) * S(B)" using the registry's names.
+  std::string ToString(const VarRegistry& vars) const;
+
+ private:
+  std::string name_;
+  Schema free_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_QUERY_H_

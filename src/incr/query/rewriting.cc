@@ -1,0 +1,103 @@
+#include "incr/query/rewriting.h"
+
+#include <functional>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+
+// Extends `hom` by mapping schema `from` onto schema `to` position-wise;
+// returns false on conflict or non-injectivity.
+bool ExtendHom(const Schema& from, const Schema& to, std::map<Var, Var>* hom) {
+  if (from.size() != to.size()) return false;
+  std::map<Var, Var> trial = *hom;
+  for (size_t i = 0; i < from.size(); ++i) {
+    auto it = trial.find(from[i]);
+    if (it != trial.end()) {
+      if (it->second != to[i]) return false;
+    } else {
+      trial.emplace(from[i], to[i]);
+    }
+  }
+  // Injectivity (needed so the view's group-by key determines the covered
+  // sub-join's free variables one-to-one).
+  std::map<Var, Var> inverse;
+  for (const auto& [a, b] : trial) {
+    if (!inverse.emplace(b, a).second) return false;
+  }
+  *hom = trial;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<ViewRewriting> FindViewRewriting(const Query& q1, const Query& q2,
+                                          const std::string& view_name,
+                                          const Schema& view_order) {
+  const auto& a1 = q1.atoms();
+  const auto& a2 = q2.atoms();
+  INCR_CHECK(view_order.size() == q2.free().size());
+  for (Var v : view_order) INCR_CHECK(q2.IsFree(v));
+
+  std::map<Var, Var> hom;
+  std::vector<size_t> image(a2.size());
+  std::vector<bool> used(a1.size(), false);
+
+  std::function<bool(size_t)> assign = [&](size_t i) -> bool {
+    if (i == a2.size()) return true;
+    for (size_t j = 0; j < a1.size(); ++j) {
+      if (used[j] || a1[j].relation != a2[i].relation) continue;
+      std::map<Var, Var> saved = hom;
+      if (ExtendHom(a2[i].schema, a1[j].schema, &hom)) {
+        used[j] = true;
+        image[i] = j;
+        if (assign(i + 1)) return true;
+        used[j] = false;
+      }
+      hom = saved;
+    }
+    return false;
+  };
+  if (!assign(0)) {
+    return Status::NotFound("no injective homomorphism from q2 into q1");
+  }
+
+  // Soundness: bound variables of q2 must map to q1 variables occurring
+  // only in covered atoms and not free in q1 (otherwise marginalizing them
+  // inside the view would drop join/output constraints).
+  for (Var v : q2.BoundVars()) {
+    Var w = hom.at(v);
+    if (q1.IsFree(w)) {
+      return Status::FailedPrecondition(
+          "a bound variable of q2 maps to a free variable of q1");
+    }
+    for (size_t j = 0; j < a1.size(); ++j) {
+      if (used[j]) continue;
+      if (SchemaContains(a1[j].schema, w)) {
+        return Status::FailedPrecondition(
+            "a bound variable of q2 maps to a variable shared with "
+            "uncovered atoms of q1");
+      }
+    }
+  }
+
+  ViewRewriting out;
+  out.hom = hom;
+  for (size_t j = 0; j < a1.size(); ++j) {
+    if (used[j]) out.covered_atoms.push_back(j);
+  }
+  out.view_schema_source = view_order;
+  Schema view_schema;
+  for (Var v : view_order) view_schema.push_back(hom.at(v));
+  std::vector<Atom> atoms;
+  atoms.push_back(Atom{view_name, view_schema});
+  for (size_t j = 0; j < a1.size(); ++j) {
+    if (!used[j]) atoms.push_back(a1[j]);
+  }
+  out.rewritten = Query(q1.name() + "_rw", q1.free(), std::move(atoms));
+  return out;
+}
+
+}  // namespace incr

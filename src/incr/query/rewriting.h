@@ -1,0 +1,43 @@
+// Cascading q-hierarchical rewritings (paper §4.2, Ex. 4.5, [12, 38]):
+// given queries Q1 (not q-hierarchical) and Q2 (q-hierarchical), find a
+// rewriting Q1' that replaces a sub-join of Q1 by a view atom over Q2's
+// output, such that Q1' is equivalent to Q1. If Q1' is q-hierarchical, the
+// pair {Q1, Q2} can be maintained with amortized constant update time and
+// constant delay by piggybacking Q1's maintenance on Q2's enumeration.
+#ifndef INCR_QUERY_REWRITING_H_
+#define INCR_QUERY_REWRITING_H_
+
+#include <map>
+
+#include "incr/query/query.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// A successful rewriting of q1 using q2's output as a view.
+struct ViewRewriting {
+  /// Variable homomorphism: q2 variable -> q1 variable.
+  std::map<Var, Var> hom;
+  /// q1 atoms replaced by the view (image of q2's atoms).
+  std::vector<size_t> covered_atoms;
+  /// The rewritten query: one atom `view_name` over hom(free(q2)) (in the
+  /// order of `view_schema_source`), followed by q1's uncovered atoms.
+  Query rewritten;
+  /// q2 free variables in the order used for the view atom's schema.
+  Schema view_schema_source;
+};
+
+/// Searches for a rewriting of `q1` using `q2` (both self-join-free or
+/// small; the search is exponential only in |q2.atoms()|). Soundness
+/// conditions enforced: the atom mapping is injective with a consistent,
+/// injective variable homomorphism; every bound variable of q2 maps to a
+/// variable that occurs only in covered atoms and is not free in q1.
+/// `view_order` fixes the column order of the view atom (pass the
+/// maintaining tree's output schema over q2's free variables).
+StatusOr<ViewRewriting> FindViewRewriting(const Query& q1, const Query& q2,
+                                          const std::string& view_name,
+                                          const Schema& view_order);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_REWRITING_H_

@@ -1,0 +1,109 @@
+#include "incr/query/static_dynamic.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "incr/core/view_tree_plan.h"
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+
+constexpr size_t kMaxSearchVars = 7;
+
+// Checks one candidate forest (parent[i] indexes into vars, or -1).
+bool TryOrder(const Query& q, const std::vector<Var>& all,
+              const std::vector<int>& parent_var,
+              const std::vector<size_t>& dynamic_atoms,
+              StatusOr<VariableOrder>* out) {
+  size_t n = all.size();
+  // Topological order (parents first); also detects cycles.
+  std::vector<int> order;
+  std::vector<int> state(n, 0);  // 0 unvisited, 1 in progress, 2 done
+  std::vector<int> pos(n, -1);
+  std::function<bool(size_t)> visit = [&](size_t i) -> bool {
+    if (state[i] == 2) return true;
+    if (state[i] == 1) return false;  // cycle
+    state[i] = 1;
+    if (parent_var[i] >= 0 && !visit(static_cast<size_t>(parent_var[i]))) {
+      return false;
+    }
+    state[i] = 2;
+    pos[i] = static_cast<int>(order.size());
+    order.push_back(static_cast<int>(i));
+    return true;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    if (!visit(i)) return false;
+  }
+  std::vector<Var> vars(n);
+  std::vector<int> parents(n);
+  for (size_t k = 0; k < n; ++k) {
+    size_t i = static_cast<size_t>(order[k]);
+    vars[k] = all[i];
+    parents[k] = parent_var[i] < 0
+                     ? -1
+                     : pos[static_cast<size_t>(parent_var[i])];
+  }
+  auto vo = VariableOrder::FromParents(q, vars, parents);
+  if (!vo.ok()) return false;
+  auto plan = ViewTreePlan::Make(q, *vo);
+  if (!plan.ok()) return false;
+  if (!plan->CanEnumerate().ok()) return false;
+  if (!plan->ProgramsConstantTimeFor(dynamic_atoms)) return false;
+  *out = *std::move(vo);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<VariableOrder> FindMixedOrder(const Query& q,
+                                       const std::vector<bool>& is_static) {
+  INCR_CHECK(is_static.size() == q.atoms().size());
+  std::vector<size_t> dynamic_atoms;
+  for (size_t a = 0; a < is_static.size(); ++a) {
+    if (!is_static[a]) dynamic_atoms.push_back(a);
+  }
+  // Fast path: the canonical order of a hierarchical query.
+  {
+    auto vo = VariableOrder::Canonical(q);
+    if (vo.ok()) {
+      auto plan = ViewTreePlan::Make(q, *vo);
+      if (plan.ok() && plan->CanEnumerate().ok() &&
+          plan->ProgramsConstantTimeFor(dynamic_atoms)) {
+        return *std::move(vo);
+      }
+    }
+  }
+  Schema all_s = q.AllVars();
+  size_t n = all_s.size();
+  if (n > kMaxSearchVars) {
+    return Status::FailedPrecondition(
+        "mixed static/dynamic order search supports at most 7 variables");
+  }
+  std::vector<Var> all(all_s.begin(), all_s.end());
+  // Exhaustive search over parent functions: each variable picks a parent
+  // among the other variables or none ((n)^n candidates, cycles pruned).
+  std::vector<int> parent_var(n, -1);
+  StatusOr<VariableOrder> found =
+      Status::FailedPrecondition("no mixed-tractable variable order exists");
+  std::function<bool(size_t)> rec = [&](size_t i) -> bool {
+    if (i == n) return TryOrder(q, all, parent_var, dynamic_atoms, &found);
+    for (int p = -1; p < static_cast<int>(n); ++p) {
+      if (p == static_cast<int>(i)) continue;
+      parent_var[i] = p;
+      if (rec(i + 1)) return true;
+    }
+    parent_var[i] = -1;
+    return false;
+  };
+  rec(0);
+  return found;
+}
+
+bool IsTractableMixed(const Query& q, const std::vector<bool>& is_static) {
+  return FindMixedOrder(q, is_static).ok();
+}
+
+}  // namespace incr

@@ -1,0 +1,39 @@
+// Static versus dynamic relations (paper §4.5, [17]).
+//
+// Atoms are adorned static (never updated in the maintenance window) or
+// dynamic. A non-q-hierarchical query may still admit O(1) single-tuple
+// updates and O(1)-delay enumeration if some relations are static: the view
+// tree only needs constant-time delta programs along the propagation paths
+// of *dynamic* atoms, and static subtrees are precomputed once.
+//
+// FindMixedOrder searches the space of variable-order forests for one whose
+// plan (a) is constant-time for every dynamic atom and (b) supports
+// constant-delay enumeration. Queries here are small (<= 7 variables), so
+// exhaustive search over parent functions is exact and fast; this recovers
+// the paper's Ex. 4.14 tree automatically.
+#ifndef INCR_QUERY_STATIC_DYNAMIC_H_
+#define INCR_QUERY_STATIC_DYNAMIC_H_
+
+#include <vector>
+
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+/// Finds a variable order whose view-tree plan gives O(1) updates for every
+/// dynamic atom and constant-delay enumeration. `is_static` is parallel to
+/// q.atoms(). Returns FailedPrecondition if no such order exists (exact for
+/// queries with at most 7 variables).
+StatusOr<VariableOrder> FindMixedOrder(const Query& q,
+                                       const std::vector<bool>& is_static);
+
+/// True iff FindMixedOrder succeeds: the query is tractable in the mixed
+/// static/dynamic setting (§4.5). With all atoms dynamic this coincides
+/// with q-hierarchicality (Thm. 4.1).
+bool IsTractableMixed(const Query& q, const std::vector<bool>& is_static);
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_STATIC_DYNAMIC_H_

@@ -1,0 +1,273 @@
+#include "incr/query/variable_order.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "incr/query/properties.h"
+#include "incr/util/check.h"
+
+namespace incr {
+
+namespace {
+
+// atoms(X) as a bitmask over atom indexes.
+uint64_t AtomMask(const Query& q, Var v) {
+  uint64_t m = 0;
+  for (size_t i = 0; i < q.atoms().size(); ++i) {
+    if (SchemaContains(q.atoms()[i].schema, v)) m |= uint64_t{1} << i;
+  }
+  return m;
+}
+
+}  // namespace
+
+StatusOr<VariableOrder> VariableOrder::Build(const Query& q,
+                                             const std::vector<Var>& vars,
+                                             const std::vector<int>& parents) {
+  INCR_CHECK(vars.size() == parents.size());
+  VariableOrder vo;
+  vo.nodes_.resize(vars.size());
+  std::map<Var, int> node_of;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (parents[i] >= static_cast<int>(i)) {
+      return Status::InvalidArgument("parents must precede children");
+    }
+    if (!node_of.emplace(vars[i], static_cast<int>(i)).second) {
+      return Status::InvalidArgument("duplicate variable in order");
+    }
+    VoNode& n = vo.nodes_[i];
+    n.var = vars[i];
+    n.parent = parents[i];
+    n.free = q.IsFree(vars[i]);
+    if (n.parent >= 0) {
+      vo.nodes_[n.parent].children.push_back(static_cast<int>(i));
+      n.depth = vo.nodes_[n.parent].depth + 1;
+    } else {
+      vo.roots_.push_back(static_cast<int>(i));
+    }
+  }
+  // Every variable of the query must be a node.
+  for (Var v : q.AllVars()) {
+    if (node_of.find(v) == node_of.end()) {
+      return Status::InvalidArgument("variable missing from order");
+    }
+  }
+
+  // Anchor each atom at its deepest variable; all other variables of the
+  // atom must be ancestors of the anchor.
+  for (size_t ai = 0; ai < q.atoms().size(); ++ai) {
+    const Schema& s = q.atoms()[ai].schema;
+    if (s.empty()) return Status::InvalidArgument("empty atom schema");
+    int anchor = -1;
+    for (Var v : s) {
+      auto it = node_of.find(v);
+      INCR_CHECK(it != node_of.end());
+      if (anchor == -1 ||
+          vo.nodes_[it->second].depth > vo.nodes_[anchor].depth) {
+        anchor = it->second;
+      }
+    }
+    for (Var v : s) {
+      int n = node_of[v];
+      // Walk up from anchor; v must appear on the path.
+      int cur = anchor;
+      bool found = false;
+      while (cur != -1) {
+        if (cur == n) {
+          found = true;
+          break;
+        }
+        cur = vo.nodes_[cur].parent;
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "atom variables not on one root-to-node path");
+      }
+    }
+    vo.nodes_[anchor].atoms.push_back(ai);
+  }
+
+  // key(X) = (union of schemas of atoms anchored in subtree(X)) intersected
+  // with ancestors(X), ordered root-first. Computed by aggregating subtree
+  // variable sets bottom-up (children have larger indexes than parents).
+  std::vector<Schema> subtree_vars(vo.nodes_.size());
+  for (size_t i = vo.nodes_.size(); i-- > 0;) {
+    Schema& sv = subtree_vars[i];
+    for (size_t ai : vo.nodes_[i].atoms) {
+      sv = SchemaUnion(sv, q.atoms()[ai].schema);
+    }
+    for (int c : vo.nodes_[i].children) {
+      sv = SchemaUnion(sv, subtree_vars[c]);
+    }
+    // Groundedness: X must occur in some atom of its own subtree.
+    if (!SchemaContains(sv, vo.nodes_[i].var)) {
+      return Status::InvalidArgument("variable occurs in no subtree atom");
+    }
+    // Ancestors root-first.
+    Schema ancestors;
+    {
+      SmallVector<Var, 4> rev;
+      int cur = vo.nodes_[i].parent;
+      while (cur != -1) {
+        rev.push_back(vo.nodes_[cur].var);
+        cur = vo.nodes_[cur].parent;
+      }
+      for (size_t k = rev.size(); k-- > 0;) ancestors.push_back(rev[k]);
+    }
+    vo.nodes_[i].key = SchemaIntersect(ancestors, sv);
+  }
+
+  // Preorder: roots first, then children (stable DFS).
+  vo.preorder_.reserve(vo.nodes_.size());
+  std::vector<int> stack(vo.roots_.rbegin(), vo.roots_.rend());
+  while (!stack.empty()) {
+    int n = stack.back();
+    stack.pop_back();
+    vo.preorder_.push_back(n);
+    for (auto it = vo.nodes_[n].children.rbegin();
+         it != vo.nodes_[n].children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return vo;
+}
+
+StatusOr<VariableOrder> VariableOrder::Canonical(const Query& q) {
+  return CanonicalWithPriority(
+      q, [&q](Var v) { return q.IsFree(v) ? 0 : 1; });
+}
+
+StatusOr<VariableOrder> VariableOrder::CanonicalWithPriority(
+    const Query& q, const std::function<int(Var)>& priority) {
+  if (!IsHierarchical(q)) {
+    return Status::FailedPrecondition(
+        "canonical variable order requires a hierarchical query");
+  }
+  Schema all = q.AllVars();
+  // Group variables into classes by atoms(.) mask; low-priority (e.g. free
+  // before bound) within a class so that, for q-hierarchical queries, free
+  // variables form an ancestor-closed prefix.
+  struct VarClass {
+    uint64_t mask;
+    std::vector<Var> members;
+  };
+  std::map<uint64_t, VarClass> classes;
+  for (Var v : all) {
+    uint64_t m = AtomMask(q, v);
+    if (m == 0) {
+      return Status::InvalidArgument("variable occurs in no atom");
+    }
+    auto& c = classes[m];
+    c.mask = m;
+    c.members.push_back(v);
+  }
+  for (auto& [mask, c] : classes) {
+    std::stable_sort(c.members.begin(), c.members.end(),
+                     [&](Var a, Var b) { return priority(a) < priority(b); });
+  }
+  // Parent class of c: the class with the smallest strict superset mask
+  // (popcount-minimal). Hierarchy guarantees superset masks form a chain.
+  std::vector<const VarClass*> order;  // classes sorted by popcount asc? No:
+  // we need parents before children, i.e. larger (superset) masks first.
+  for (const auto& [mask, c] : classes) order.push_back(&c);
+  std::sort(order.begin(), order.end(),
+            [](const VarClass* a, const VarClass* b) {
+              int pa = __builtin_popcountll(a->mask);
+              int pb = __builtin_popcountll(b->mask);
+              if (pa != pb) return pa > pb;
+              return a->mask < b->mask;
+            });
+
+  std::vector<Var> vars;
+  std::vector<int> parents;
+  std::map<uint64_t, int> class_tail;  // mask -> node index of deepest member
+  for (const VarClass* c : order) {
+    // Find parent class: smallest strict superset already emitted.
+    int parent_node = -1;
+    uint64_t best_mask = 0;
+    for (const auto& [mask, tail] : class_tail) {
+      if ((mask & c->mask) == c->mask && mask != c->mask) {
+        if (best_mask == 0 ||
+            __builtin_popcountll(mask) < __builtin_popcountll(best_mask)) {
+          best_mask = mask;
+          parent_node = tail;
+        }
+      }
+    }
+    for (Var v : c->members) {
+      vars.push_back(v);
+      parents.push_back(parent_node);
+      parent_node = static_cast<int>(vars.size()) - 1;  // chain within class
+    }
+    class_tail[c->mask] = parent_node;
+  }
+  return Build(q, vars, parents);
+}
+
+StatusOr<VariableOrder> VariableOrder::FromParents(
+    const Query& q, const std::vector<Var>& vars,
+    const std::vector<int>& parents) {
+  return Build(q, vars, parents);
+}
+
+StatusOr<VariableOrder> VariableOrder::FromPath(const Query& q,
+                                                const std::vector<Var>& vars) {
+  std::vector<int> parents(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    parents[i] = static_cast<int>(i) - 1;
+  }
+  return Build(q, vars, parents);
+}
+
+StatusOr<VariableOrder> VariableOrder::CanonicalFor(const Query& structure,
+                                                    const Query& target) {
+  auto vo = Canonical(structure);
+  if (!vo.ok()) return vo.status();
+  std::vector<Var> vars;
+  std::vector<int> parents;
+  vars.reserve(vo->nodes().size());
+  for (int i : vo->preorder()) {
+    vars.push_back(vo->nodes()[i].var);
+  }
+  // Re-map parents through the preorder permutation.
+  std::vector<int> pos(vo->nodes().size());
+  for (size_t k = 0; k < vo->preorder().size(); ++k) {
+    pos[static_cast<size_t>(vo->preorder()[k])] = static_cast<int>(k);
+  }
+  for (int i : vo->preorder()) {
+    int p = vo->nodes()[i].parent;
+    parents.push_back(p == -1 ? -1 : pos[static_cast<size_t>(p)]);
+  }
+  return Build(target, vars, parents);
+}
+
+int VariableOrder::NodeOf(Var v) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].var == v) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool VariableOrder::FreeVarsAncestorClosed() const {
+  for (const VoNode& n : nodes_) {
+    if (n.free && n.parent != -1 && !nodes_[n.parent].free) return false;
+  }
+  return true;
+}
+
+std::string VariableOrder::ToString(const VarRegistry& vars) const {
+  std::string out;
+  for (int i : preorder_) {
+    const VoNode& n = nodes_[static_cast<size_t>(i)];
+    for (int d = 0; d < n.depth; ++d) out += "  ";
+    out += vars.Name(n.var);
+    if (n.free) out += "*";
+    out += " key=" + SchemaToString(n.key, vars);
+    out += " atoms=" + std::to_string(n.atoms.size());
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace incr

@@ -1,0 +1,96 @@
+// Variable orders: the forests that shape view trees (paper §4.1, Fig. 3).
+//
+// A variable order for query Q is a forest over Q's variables such that the
+// variables of each atom lie on one root-to-node path; the atom is anchored
+// at the deepest of its variables. Each node X carries its dependency set
+// key(X): the ancestors of X that occur in atoms anchored in X's subtree —
+// the group-by key of the view the engine materializes at X.
+//
+// For a hierarchical query the *canonical* variable order (ancestors =
+// strictly larger atoms(.) sets, free variables first within ties) makes
+// every propagation lookup fully keyed, which is what yields O(1)
+// single-tuple updates for q-hierarchical queries (Thm. 4.1).
+#ifndef INCR_QUERY_VARIABLE_ORDER_H_
+#define INCR_QUERY_VARIABLE_ORDER_H_
+
+#include <functional>
+#include <vector>
+
+#include "incr/query/query.h"
+#include "incr/util/status.h"
+
+namespace incr {
+
+struct VoNode {
+  Var var = 0;
+  int parent = -1;              ///< node index of parent, -1 for roots
+  std::vector<int> children;    ///< node indexes
+  std::vector<size_t> atoms;    ///< atom indexes anchored at this node
+  Schema key;                   ///< dep(X), ordered root-first
+  bool free = false;            ///< X is a free (group-by) variable of Q
+  int depth = 0;                ///< 0 for roots
+};
+
+class VariableOrder {
+ public:
+  /// The canonical order for a hierarchical query. Fails if `q` is not
+  /// hierarchical or has a free variable occurring in no atom.
+  static StatusOr<VariableOrder> Canonical(const Query& q);
+
+  /// Canonical order with a custom priority for ordering variables with
+  /// equal atoms(.) sets: lower priority values go higher in the forest.
+  /// Canonical(q) is CanonicalWithPriority with free=0, bound=1 — used by
+  /// the CQAP engine to place input variables above output variables.
+  static StatusOr<VariableOrder> CanonicalWithPriority(
+      const Query& q, const std::function<int(Var)>& priority);
+
+  /// Builds an order for `q` from an explicit forest: `vars[i]`'s parent is
+  /// `vars[parents[i]]` (parents[i] == -1 for roots, and parents[i] < i).
+  /// Fails if some atom's variables do not lie on one root-to-node path, or
+  /// a variable occurs in no atom of its subtree.
+  static StatusOr<VariableOrder> FromParents(const Query& q,
+                                             const std::vector<Var>& vars,
+                                             const std::vector<int>& parents);
+
+  /// A left-deep path order following `vars` (valid for every query, at the
+  /// cost of larger keys): vars[i]'s parent is vars[i-1].
+  static StatusOr<VariableOrder> FromPath(const Query& q,
+                                          const std::vector<Var>& vars);
+
+  /// Builds the canonical order of `structure` (e.g. an FD-reduct,
+  /// Thm. 4.11) and re-anchors the atoms of `target` on the same forest.
+  /// Both queries must range over the same variables, with target's atom
+  /// schemas contained in structure's (per atom index).
+  static StatusOr<VariableOrder> CanonicalFor(const Query& structure,
+                                              const Query& target);
+
+  const std::vector<VoNode>& nodes() const { return nodes_; }
+  const std::vector<int>& roots() const { return roots_; }
+
+  /// Node indexes, parents before children.
+  const std::vector<int>& preorder() const { return preorder_; }
+
+  /// Node index of variable `v`; -1 if absent.
+  int NodeOf(Var v) const;
+
+  /// True if every free node's parent is free (free variables form an
+  /// ancestor-closed sub-forest) — the shape required for constant-delay
+  /// enumeration of the query output.
+  bool FreeVarsAncestorClosed() const;
+
+  /// Renders the forest for debugging, e.g. "A(key=) -> [B(key=A)]".
+  std::string ToString(const VarRegistry& vars) const;
+
+ private:
+  static StatusOr<VariableOrder> Build(const Query& q,
+                                       const std::vector<Var>& vars,
+                                       const std::vector<int>& parents);
+
+  std::vector<VoNode> nodes_;
+  std::vector<int> roots_;
+  std::vector<int> preorder_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_QUERY_VARIABLE_ORDER_H_

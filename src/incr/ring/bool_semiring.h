@@ -1,0 +1,24 @@
+// Boolean semiring ({false,true}, OR, AND): set semantics / existence.
+// No additive inverse, so deletes cannot be processed through it — this is
+// exactly the reason the literature maintains Boolean queries over Z and
+// tests count > 0 (paper §3.4, triangle *detection* as the Boolean version
+// of the triangle count).
+#ifndef INCR_RING_BOOL_SEMIRING_H_
+#define INCR_RING_BOOL_SEMIRING_H_
+
+namespace incr {
+
+struct BoolSemiring {
+  using Value = bool;
+  static constexpr bool kHasNegation = false;
+
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Add(Value a, Value b) { return a || b; }
+  static Value Mul(Value a, Value b) { return a && b; }
+  static bool IsZero(Value a) { return !a; }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_BOOL_SEMIRING_H_

@@ -1,0 +1,93 @@
+// The covariance (degree-2 statistics) ring of F-IVM [33, 22]: payloads are
+// triples (c, s, Q) of a count, a K-vector of sums, and a KxK matrix of sums
+// of products. Maintaining a query over this ring computes, incrementally,
+// all the aggregates needed to train linear regression / compute covariance
+// matrices over the join result — the "in-database machine learning" use
+// case the paper's §6 points to.
+//
+// Operations (K features):
+//   0 = (0, 0, 0)
+//   1 = (1, 0, 0)
+//   (c1,s1,Q1) + (c2,s2,Q2) = (c1+c2, s1+s2, Q1+Q2)
+//   (c1,s1,Q1) * (c2,s2,Q2) =
+//       (c1*c2, c2*s1 + c1*s2, c2*Q1 + c1*Q2 + s1 s2^T + s2 s1^T)
+// with additive inverse by negating all components; Lift_k(x) = (1, e_k x,
+// e_k e_k^T x^2) injects feature k's value.
+#ifndef INCR_RING_COVAR_RING_H_
+#define INCR_RING_COVAR_RING_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace incr {
+
+template <size_t K>
+struct CovarValue {
+  int64_t count = 0;
+  std::array<double, K> sum{};
+  std::array<double, K * K> prod{};
+
+  bool operator==(const CovarValue& other) const {
+    return count == other.count && sum == other.sum && prod == other.prod;
+  }
+};
+
+template <size_t K>
+struct CovarRing {
+  using Value = CovarValue<K>;
+  static constexpr bool kHasNegation = true;
+
+  static Value Zero() { return Value{}; }
+
+  static Value One() {
+    Value v{};
+    v.count = 1;
+    return v;
+  }
+
+  static Value Add(const Value& a, const Value& b) {
+    Value out;
+    out.count = a.count + b.count;
+    for (size_t i = 0; i < K; ++i) out.sum[i] = a.sum[i] + b.sum[i];
+    for (size_t i = 0; i < K * K; ++i) out.prod[i] = a.prod[i] + b.prod[i];
+    return out;
+  }
+
+  static Value Mul(const Value& a, const Value& b) {
+    Value out;
+    out.count = a.count * b.count;
+    double ca = static_cast<double>(a.count);
+    double cb = static_cast<double>(b.count);
+    for (size_t i = 0; i < K; ++i) out.sum[i] = cb * a.sum[i] + ca * b.sum[i];
+    for (size_t i = 0; i < K; ++i) {
+      for (size_t j = 0; j < K; ++j) {
+        out.prod[i * K + j] = cb * a.prod[i * K + j] + ca * b.prod[i * K + j] +
+                              a.sum[i] * b.sum[j] + b.sum[i] * a.sum[j];
+      }
+    }
+    return out;
+  }
+
+  static Value Neg(const Value& a) {
+    Value out;
+    out.count = -a.count;
+    for (size_t i = 0; i < K; ++i) out.sum[i] = -a.sum[i];
+    for (size_t i = 0; i < K * K; ++i) out.prod[i] = -a.prod[i];
+    return out;
+  }
+
+  static bool IsZero(const Value& a) { return a == Value{}; }
+
+  /// Lifting function for feature k: injects a data value x as feature k.
+  static Value Lift(size_t k, double x) {
+    Value v = One();
+    v.sum[k] = x;
+    v.prod[k * K + k] = x * x;
+    return v;
+  }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_COVAR_RING_H_

@@ -1,0 +1,38 @@
+// The ring of integers (Z, +, *, 0, 1): tuple multiplicities (paper §2).
+// This is the default ring of DBToaster and F-IVM; a payload counts the
+// derivations of a tuple, inserts are +m and deletes are -m.
+#ifndef INCR_RING_INT_RING_H_
+#define INCR_RING_INT_RING_H_
+
+#include <cstdint>
+
+namespace incr {
+
+struct IntRing {
+  using Value = int64_t;
+  static constexpr bool kHasNegation = true;
+
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value Neg(Value a) { return -a; }
+  static bool IsZero(Value a) { return a == 0; }
+};
+
+/// The reals (approximated by double): used for aggregates like SUM(price).
+struct RealRing {
+  using Value = double;
+  static constexpr bool kHasNegation = true;
+
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Add(Value a, Value b) { return a + b; }
+  static Value Mul(Value a, Value b) { return a * b; }
+  static Value Neg(Value a) { return -a; }
+  static bool IsZero(Value a) { return a == 0.0; }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_INT_RING_H_

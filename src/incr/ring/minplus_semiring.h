@@ -1,0 +1,32 @@
+// Tropical (min, +) semiring: shortest-path style aggregates. Insert-only
+// maintenance works (min is monotone under inserts); there is no additive
+// inverse, so deletes are unsupported — a concrete instance of the
+// insert-only vs insert-delete asymmetry of paper §4.6.
+#ifndef INCR_RING_MINPLUS_SEMIRING_H_
+#define INCR_RING_MINPLUS_SEMIRING_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace incr {
+
+struct MinPlusSemiring {
+  using Value = int64_t;
+  static constexpr bool kHasNegation = false;
+
+  /// +infinity is the additive (min) identity.
+  static Value Zero() { return std::numeric_limits<int64_t>::max(); }
+  /// 0 is the multiplicative (+) identity.
+  static Value One() { return 0; }
+  static Value Add(Value a, Value b) { return a < b ? a : b; }
+  static Value Mul(Value a, Value b) {
+    // Saturating addition so Zero() (infinity) is absorbing.
+    if (a == Zero() || b == Zero()) return Zero();
+    return a + b;
+  }
+  static bool IsZero(Value a) { return a == Zero(); }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_MINPLUS_SEMIRING_H_

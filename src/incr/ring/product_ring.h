@@ -1,0 +1,37 @@
+// Component-wise product of two rings: maintain several aggregates (e.g. a
+// count and a sum) in one pass over one view tree.
+#ifndef INCR_RING_PRODUCT_RING_H_
+#define INCR_RING_PRODUCT_RING_H_
+
+#include <utility>
+
+#include "incr/ring/ring.h"
+
+namespace incr {
+
+template <RingType R1, RingType R2>
+struct ProductRing {
+  using Value = std::pair<typename R1::Value, typename R2::Value>;
+  static constexpr bool kHasNegation = R1::kHasNegation && R2::kHasNegation;
+
+  static Value Zero() { return {R1::Zero(), R2::Zero()}; }
+  static Value One() { return {R1::One(), R2::One()}; }
+  static Value Add(const Value& a, const Value& b) {
+    return {R1::Add(a.first, b.first), R2::Add(a.second, b.second)};
+  }
+  static Value Mul(const Value& a, const Value& b) {
+    return {R1::Mul(a.first, b.first), R2::Mul(a.second, b.second)};
+  }
+  static Value Neg(const Value& a)
+    requires kHasNegation
+  {
+    return {R1::Neg(a.first), R2::Neg(a.second)};
+  }
+  static bool IsZero(const Value& a) {
+    return R1::IsZero(a.first) && R2::IsZero(a.second);
+  }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_PRODUCT_RING_H_

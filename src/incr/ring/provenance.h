@@ -1,0 +1,71 @@
+// Provenance polynomial ring Z[X]: the (universal) provenance semiring of
+// Green, Karvounarakis & Tannen extended with integer coefficients so that
+// it forms a ring (supports deletes). Payloads are polynomials over base
+// tuple annotations; the payload of an output tuple records *how* it was
+// derived (paper §2: "our data model follows prior work on K-relations over
+// provenance semirings").
+#ifndef INCR_RING_PROVENANCE_H_
+#define INCR_RING_PROVENANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace incr {
+
+/// A monomial: a sorted multiset of base-annotation ids (variable -> power).
+using Monomial = std::map<uint32_t, uint32_t>;
+
+/// A polynomial with integer coefficients over annotation variables.
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// The constant polynomial c.
+  static Polynomial Constant(int64_t c);
+
+  /// The single-variable polynomial x_id.
+  static Polynomial Var(uint32_t id);
+
+  bool IsZero() const { return terms_.empty(); }
+
+  Polynomial operator+(const Polynomial& other) const;
+  Polynomial operator*(const Polynomial& other) const;
+  Polynomial operator-() const;
+
+  bool operator==(const Polynomial& other) const {
+    return terms_ == other.terms_;
+  }
+
+  /// Number of monomials with non-zero coefficient.
+  size_t NumTerms() const { return terms_.size(); }
+
+  /// Evaluates the polynomial under an assignment id -> integer
+  /// (missing ids evaluate as 1, matching multiplicity semantics).
+  int64_t Eval(const std::map<uint32_t, int64_t>& assignment) const;
+
+  /// Renders e.g. "2*x1*x3^2 + x2".
+  std::string ToString() const;
+
+ private:
+  // monomial -> coefficient; zero coefficients are never stored.
+  std::map<Monomial, int64_t> terms_;
+};
+
+/// Ring tag for Polynomial payloads.
+struct ProvenanceRing {
+  using Value = Polynomial;
+  static constexpr bool kHasNegation = true;
+
+  static Value Zero() { return Polynomial(); }
+  static Value One() { return Polynomial::Constant(1); }
+  static Value Add(const Value& a, const Value& b) { return a + b; }
+  static Value Mul(const Value& a, const Value& b) { return a * b; }
+  static Value Neg(const Value& a) { return -a; }
+  static bool IsZero(const Value& a) { return a.IsZero(); }
+};
+
+}  // namespace incr
+
+#endif  // INCR_RING_PROVENANCE_H_

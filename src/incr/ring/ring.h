@@ -1,0 +1,48 @@
+// Ring and semiring abstractions (paper §2).
+//
+// A relation over a ring (D, +, *, 0, 1) maps tuples to ring values; inserts
+// carry "positive" values and deletes carry additive inverses. Engines are
+// parameterized by a ring *type tag* R exposing:
+//
+//   using Value = ...;            payload type
+//   static Value Zero();          additive identity
+//   static Value One();           multiplicative identity
+//   static Value Add(a, b);       commutative, associative
+//   static Value Mul(a, b);       associative, distributes over Add
+//   static bool  IsZero(a);       a == Zero()
+//   static constexpr bool kHasNegation;
+//   static Value Neg(a);          additive inverse (only if kHasNegation)
+//
+// Rings with kHasNegation == false are semirings: they support insert-only
+// maintenance but not deletes (paper §4.6 discusses why the distinction
+// matters for complexity).
+#ifndef INCR_RING_RING_H_
+#define INCR_RING_RING_H_
+
+#include <concepts>
+
+namespace incr {
+
+/// C++20 concept for the ring interface described above.
+template <typename R>
+concept RingType = requires(typename R::Value a, typename R::Value b) {
+  { R::Zero() } -> std::convertible_to<typename R::Value>;
+  { R::One() } -> std::convertible_to<typename R::Value>;
+  { R::Add(a, b) } -> std::convertible_to<typename R::Value>;
+  { R::Mul(a, b) } -> std::convertible_to<typename R::Value>;
+  { R::IsZero(a) } -> std::convertible_to<bool>;
+  { R::kHasNegation } -> std::convertible_to<bool>;
+};
+
+/// A ring that additionally has additive inverses (supports deletes).
+template <typename R>
+concept RingWithNegation = RingType<R> && R::kHasNegation &&
+                           requires(typename R::Value a) {
+                             {
+                               R::Neg(a)
+                             } -> std::convertible_to<typename R::Value>;
+                           };
+
+}  // namespace incr
+
+#endif  // INCR_RING_RING_H_

@@ -1,0 +1,36 @@
+// Invariant-checking macros. INCR_CHECK is always on; INCR_DCHECK compiles
+// out in release builds (NDEBUG). Failures abort with file/line context,
+// which is the desired behavior for violated internal invariants in a
+// database engine (fail fast rather than corrupt state).
+#ifndef INCR_UTIL_CHECK_H_
+#define INCR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "INCR_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace incr::internal
+
+#define INCR_CHECK(expr)                                     \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::incr::internal::CheckFailed(#expr, __FILE__, __LINE__); \
+    }                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define INCR_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define INCR_DCHECK(expr) INCR_CHECK(expr)
+#endif
+
+#endif  // INCR_UTIL_CHECK_H_

@@ -1,0 +1,39 @@
+// Hash mixing primitives used by the hash map, tuples, and indexes.
+// We use a 64-bit multiply-xorshift mixer (the finalizer of SplitMix64 /
+// wyhash family), which is fast and has full avalanche — important because
+// workload generators produce small dense integers that std::hash would pass
+// through unmixed, degenerating open addressing into clustering.
+#ifndef INCR_UTIL_HASH_H_
+#define INCR_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace incr {
+
+/// Mixes a 64-bit value with full avalanche (SplitMix64 finalizer).
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines an accumulated hash with the next 64-bit lane.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // Rotate-multiply combiner; distinct from Mix64 so that combining is not
+  // commutative across lanes.
+  seed ^= Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+/// Hashes a span of 64-bit lanes.
+inline uint64_t HashSpan64(const uint64_t* data, size_t n) {
+  uint64_t h = 0x2545f4914f6cdd1dULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_HASH_H_

@@ -1,0 +1,54 @@
+// Deterministic random number generation for workload generators and tests.
+// Xoshiro256** seeded via SplitMix64; plus a Zipf sampler for skewed
+// workloads (the skew is what triggers heavy/light rebalancing in IVMe).
+#ifndef INCR_UTIL_RNG_H_
+#define INCR_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace incr {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1} using the
+/// inverse-CDF table method (O(log n) per sample after O(n) setup).
+class ZipfSampler {
+ public:
+  /// `n` is the domain size, `s` the skew exponent (s=0 is uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a value in [0, n).
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t domain_size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_RNG_H_

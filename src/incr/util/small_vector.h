@@ -1,0 +1,174 @@
+// SmallVector<T, N>: a vector with inline storage for up to N elements.
+// Tuples in IVM workloads are short (2-6 values); keeping them inline avoids
+// a heap allocation per tuple, which dominates update cost otherwise.
+// Restricted to trivially copyable T, which covers Value and ints.
+#ifndef INCR_UTIL_SMALL_VECTOR_H_
+#define INCR_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable T");
+
+ public:
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const T* data, size_t n) {
+    reserve(n);
+    std::memcpy(data_, data, n * sizeof(T));
+    size_ = n;
+  }
+
+  SmallVector(const SmallVector& other) { CopyFrom(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { Release(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  const T* data() const { return data_; }
+  T* data() { return data_; }
+
+  const T& operator[](size_t i) const {
+    INCR_DCHECK(i < size_);
+    return data_[i];
+  }
+  T& operator[](size_t i) {
+    INCR_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  const T& back() const {
+    INCR_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void resize(size_t n, T fill = T{}) {
+    reserve(n);
+    for (size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    INCR_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    if (a.size_ != b.size_) return false;
+    return std::memcmp(a.data_, b.data_, a.size_ * sizeof(T)) == 0;
+  }
+
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+  friend bool operator<(const SmallVector& a, const SmallVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  void CopyFrom(const SmallVector& other) {
+    if (other.size_ > N) {
+      data_ = static_cast<T*>(::operator new(other.size_ * sizeof(T)));
+      capacity_ = other.size_;
+    } else {
+      data_ = inline_;
+      capacity_ = N;
+    }
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.data_ == other.inline_) {
+      data_ = inline_;
+      capacity_ = N;
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_;
+      other.capacity_ = N;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void Release() {
+    if (data_ != inline_) ::operator delete(data_);
+    data_ = inline_;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void Grow(size_t n) {
+    size_t cap = std::max<size_t>(n, capacity_ * 2);
+    T* heap = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = cap;
+  }
+
+  T inline_[N];
+  T* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_SMALL_VECTOR_H_

@@ -1,0 +1,55 @@
+#include "incr/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  INCR_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  if (rank > 0) --rank;
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+double Max(const std::vector<double>& xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+double LogLogSlope(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  INCR_CHECK(x.size() == y.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) continue;
+    double lx = std::log(x[i]);
+    double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double dn = static_cast<double>(n);
+  double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (dn * sxy - sx * sy) / denom;
+}
+
+}  // namespace incr

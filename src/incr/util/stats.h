@@ -1,0 +1,29 @@
+// Small statistics helpers used by the benchmark harness: summary stats and
+// log-log slope fitting (to compare measured scaling exponents against the
+// paper's asymptotic claims).
+#ifndef INCR_UTIL_STATS_H_
+#define INCR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace incr {
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) by nearest-rank on a sorted copy.
+double Percentile(std::vector<double> xs, double p);
+
+/// Maximum; 0 for empty input.
+double Max(const std::vector<double>& xs);
+
+/// Least-squares slope of log(y) against log(x). Points with non-positive
+/// coordinates are skipped. Returns 0 when fewer than two usable points.
+/// For a measurement y ~ c * x^k this estimates k, so it directly checks
+/// claims like "update time is O(N^{1/2})".
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_STATS_H_

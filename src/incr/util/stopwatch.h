@@ -1,0 +1,35 @@
+// Wall-clock timing for benchmarks and delay measurements.
+#ifndef INCR_UTIL_STOPWATCH_H_
+#define INCR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace incr {
+
+/// Monotonic stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_STOPWATCH_H_

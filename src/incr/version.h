@@ -1,0 +1,17 @@
+// Library version.
+#ifndef INCR_VERSION_H_
+#define INCR_VERSION_H_
+
+#define INCR_VERSION_MAJOR 1
+#define INCR_VERSION_MINOR 0
+#define INCR_VERSION_PATCH 0
+#define INCR_VERSION_STRING "1.0.0"
+
+namespace incr {
+
+/// Returns "major.minor.patch".
+inline const char* Version() { return INCR_VERSION_STRING; }
+
+}  // namespace incr
+
+#endif  // INCR_VERSION_H_

@@ -1,0 +1,57 @@
+// Graph workloads for the triangle experiments (paper §3): random directed
+// edge streams with optional power-law degree skew (skew drives the IVMe
+// rebalancing machinery), plus a sliding-window mode producing interleaved
+// inserts and deletes.
+#ifndef INCR_WORKLOAD_GRAPH_H_
+#define INCR_WORKLOAD_GRAPH_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "incr/data/tuple.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+
+class GraphStream {
+ public:
+  struct Edge {
+    Value src;
+    Value dst;
+    int64_t delta;  // +1 insert, -1 delete
+  };
+
+  /// `n_vertices` domain, Zipf skew `s` on endpoints (0 = uniform), and a
+  /// sliding window: once more than `window` edges are live, each insert is
+  /// followed by the deletion of the oldest edge.
+  GraphStream(int64_t n_vertices, double s, size_t window, uint64_t seed)
+      : rng_(seed), zipf_(static_cast<uint64_t>(n_vertices), s),
+        window_(window) {}
+
+  /// The next update; alternates deletes in once the window is full.
+  Edge Next() {
+    if (window_ > 0 && live_.size() > window_ && !pending_delete_) {
+      pending_delete_ = true;
+      Edge e{live_.front()[0], live_.front()[1], -1};
+      live_.pop_front();
+      return e;
+    }
+    pending_delete_ = false;
+    Value a = static_cast<Value>(zipf_.Sample(rng_));
+    Value b = static_cast<Value>(zipf_.Sample(rng_));
+    live_.push_back(Tuple{a, b});
+    return Edge{a, b, +1};
+  }
+
+ private:
+  Rng rng_;
+  ZipfSampler zipf_;
+  size_t window_;
+  std::deque<Tuple> live_;
+  bool pending_delete_ = false;
+};
+
+}  // namespace incr
+
+#endif  // INCR_WORKLOAD_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "incr/workload/imdb.h"
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+ImdbWorkload::ImdbWorkload(uint64_t seed)
+    : rng_(seed),
+      query_("imdb", Schema{kMid, kCid},
+             {Atom{"Title", Schema{kMid}},
+              Atom{"MovieCompanies", Schema{kMid, kCid}},
+              Atom{"Company", Schema{kCid}}}) {}
+
+VariableOrder ImdbWorkload::Order() const {
+  auto vo = VariableOrder::FromPath(query_, {kMid, kCid});
+  INCR_CHECK(vo.ok());
+  return *std::move(vo);
+}
+
+std::vector<ImdbWorkload::Update> ImdbWorkload::NextValidBatch(
+    int64_t n_companies, int64_t fanout) {
+  std::vector<Update> batch;
+  // Insert phase: for each new company, first the movies and the
+  // movie-company records (dangling FKs!), then the company row that
+  // resolves them all at once — the adversarial order of Ex. 4.13.
+  for (int64_t c = 0; c < n_companies; ++c) {
+    Value cid = next_cid_++;
+    std::vector<Value> movies;
+    for (int64_t f = 0; f < fanout; ++f) {
+      Value mid = next_mid_++;
+      batch.push_back({"Title", Tuple{mid}, +1});
+      batch.push_back({"MovieCompanies", Tuple{mid, cid}, +1});
+      movies.push_back(mid);
+    }
+    batch.push_back({"Company", Tuple{cid}, +1});
+    live_.emplace_back(cid, std::move(movies));
+  }
+  // Delete phase: retire ~half as many companies, deleting the company row
+  // *first* (leaving its movie records dangling), then the children.
+  int64_t deletions = n_companies / 2;
+  for (int64_t d = 0; d < deletions && !live_.empty(); ++d) {
+    size_t i = rng_.Uniform(live_.size());
+    auto [cid, movies] = live_[i];
+    live_[i] = live_.back();
+    live_.pop_back();
+    batch.push_back({"Company", Tuple{cid}, -1});
+    for (Value mid : movies) {
+      batch.push_back({"MovieCompanies", Tuple{mid, cid}, -1});
+      batch.push_back({"Title", Tuple{mid}, -1});
+    }
+  }
+  return batch;
+}
+
+}  // namespace incr

@@ -1,0 +1,59 @@
+// Synthetic IMDB/JOB-like workload (paper Ex. 4.13): the PK-FK join
+//
+//   Q(mid, cid) = Title(mid) * Movie_Companies(mid, cid) * Company(cid)
+//
+// with a *valid batch* generator: update sequences that may pass through
+// inconsistent intermediate states (children inserted before their parents,
+// parents deleted before their children) but restore consistency at batch
+// boundaries — the regime in which Ex. 4.13 shows amortized O(1) updates.
+#ifndef INCR_WORKLOAD_IMDB_H_
+#define INCR_WORKLOAD_IMDB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "incr/data/tuple.h"
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+
+class ImdbWorkload {
+ public:
+  static constexpr Var kMid = 0;
+  static constexpr Var kCid = 1;
+
+  struct Update {
+    std::string rel;  // "Title", "MovieCompanies", "Company"
+    Tuple tuple;
+    int64_t delta;  // +1 insert, -1 delete
+  };
+
+  explicit ImdbWorkload(uint64_t seed);
+
+  const Query& query() const { return query_; }
+
+  /// A maintenance order for the (non-hierarchical) query: mid -> cid.
+  VariableOrder Order() const;
+
+  /// Produces a valid batch: consistent before and after, adversarially
+  /// out-of-order inside. `fanout` children reference each new company,
+  /// and children are inserted *before* their company (resp. deleted after
+  /// it), so per-update costs inside the batch are skewed exactly as in
+  /// Ex. 4.13.
+  std::vector<Update> NextValidBatch(int64_t n_companies, int64_t fanout);
+
+ private:
+  Rng rng_;
+  Query query_;
+  Value next_mid_ = 0;
+  Value next_cid_ = 0;
+  // Live companies with their movie lists (for delete phases).
+  std::vector<std::pair<Value, std::vector<Value>>> live_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_WORKLOAD_IMDB_H_

@@ -1,0 +1,47 @@
+#include "incr/workload/retailer.h"
+
+#include "incr/util/check.h"
+
+namespace incr {
+
+RetailerWorkload::RetailerWorkload(int64_t n_locations, int64_t n_dates,
+                                   int64_t n_items, uint64_t seed)
+    : n_locations_(n_locations), n_dates_(n_dates), n_items_(n_items),
+      rng_(seed),
+      item_zipf_(static_cast<uint64_t>(n_items), /*s=*/1.05),
+      query_("retailer", Schema{kLocn, kDate, kKsn, kZip},
+             {Atom{"Inventory", Schema{kLocn, kDate, kKsn}},
+              Atom{"Location", Schema{kLocn, kZip}},
+              Atom{"Census", Schema{kZip}},
+              Atom{"Item", Schema{kKsn}},
+              Atom{"Weather", Schema{kLocn, kDate}}}) {
+  // ~10 locations per zip code.
+  int64_t n_zips = std::max<int64_t>(1, n_locations / 10);
+  for (int64_t l = 0; l < n_locations; ++l) {
+    locations_.push_back(Tuple{l, l % n_zips});
+  }
+  for (int64_t z = 0; z < n_zips; ++z) censuses_.push_back(Tuple{z});
+  for (int64_t k = 0; k < n_items_; ++k) items_.push_back(Tuple{k});
+  for (int64_t l = 0; l < n_locations; ++l) {
+    for (int64_t d = 0; d < n_dates_; ++d) {
+      weathers_.push_back(Tuple{l, d});
+    }
+  }
+}
+
+VariableOrder RetailerWorkload::Order() const {
+  // locn -> date -> ksn and locn -> zip.
+  auto vo = VariableOrder::FromParents(
+      query_, {kLocn, kDate, kKsn, kZip}, {-1, 0, 1, 0});
+  INCR_CHECK(vo.ok());
+  return *std::move(vo);
+}
+
+Tuple RetailerWorkload::NextInventoryInsert() {
+  Value locn = rng_.UniformInt(0, n_locations_ - 1);
+  Value date = rng_.UniformInt(0, n_dates_ - 1);
+  Value ksn = static_cast<Value>(item_zipf_.Sample(rng_));
+  return Tuple{locn, date, ksn};
+}
+
+}  // namespace incr

@@ -1,0 +1,78 @@
+// Synthetic Retailer workload (paper Fig. 4 / Ex. 4.10): the 5-relation
+// join of the F-IVM experiments, with the same structure as the real
+// dataset the paper uses (which is not publicly distributed — see
+// DESIGN.md's substitution table):
+//
+//   Inventory(locn, date, ksn)   the fact relation; the update stream
+//   Location(locn, zip)          each location in one zip (fd locn -> zip)
+//   Census(zip)                  demographics per zip
+//   Item(ksn)                    item catalog
+//   Weather(locn, date)          weather per location and day
+//
+//   Q(locn, date, ksn, zip) = the natural join of all five.
+//
+// The query is NOT q-hierarchical (Ex. 4.10) but admits the F-IVM variable
+// order locn -> {date -> ksn, zip} under which inserts to Inventory (and
+// Weather, Location) propagate in O(1); this is the order all four Fig. 4
+// strategies share. Dimension relations are preloaded; the measured stream
+// inserts Inventory tuples, as in the paper's experiment.
+#ifndef INCR_WORKLOAD_RETAILER_H_
+#define INCR_WORKLOAD_RETAILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "incr/data/tuple.h"
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+
+class RetailerWorkload {
+ public:
+  // Variable ids.
+  static constexpr Var kLocn = 0;
+  static constexpr Var kDate = 1;
+  static constexpr Var kKsn = 2;
+  static constexpr Var kZip = 3;
+  // Atom ids (order in the query).
+  static constexpr size_t kInventory = 0;
+  static constexpr size_t kLocation = 1;
+  static constexpr size_t kCensus = 2;
+  static constexpr size_t kItem = 3;
+  static constexpr size_t kWeather = 4;
+
+  RetailerWorkload(int64_t n_locations, int64_t n_dates, int64_t n_items,
+                   uint64_t seed);
+
+  const Query& query() const { return query_; }
+
+  /// The F-IVM variable order described above.
+  VariableOrder Order() const;
+
+  /// Dimension-table contents (to preload before streaming).
+  const std::vector<Tuple>& locations() const { return locations_; }
+  const std::vector<Tuple>& censuses() const { return censuses_; }
+  const std::vector<Tuple>& items() const { return items_; }
+  const std::vector<Tuple>& weathers() const { return weathers_; }
+
+  /// Next Inventory insert (locn, date, ksn); item choice is Zipf-skewed.
+  Tuple NextInventoryInsert();
+
+  int64_t n_locations() const { return n_locations_; }
+  int64_t n_dates() const { return n_dates_; }
+
+ private:
+  int64_t n_locations_;
+  int64_t n_dates_;
+  int64_t n_items_;
+  Rng rng_;
+  ZipfSampler item_zipf_;
+  Query query_;
+  std::vector<Tuple> locations_, censuses_, items_, weathers_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_WORKLOAD_RETAILER_H_

@@ -1,0 +1,143 @@
+#include "incr/workload/tpch.h"
+
+namespace incr {
+
+namespace {
+
+using V = TpchVars;
+
+TpchQuery Make(int number, std::vector<Atom> atoms) {
+  TpchQuery q;
+  q.number = number;
+  Query boolean("tpch" + std::to_string(number) + "_b", Schema{}, atoms);
+  Schema all = boolean.AllVars();
+  q.boolean = boolean;
+  q.full = Query("tpch" + std::to_string(number), all, std::move(atoms));
+  return q;
+}
+
+}  // namespace
+
+std::vector<TpchQuery> TpchQueries() {
+  std::vector<TpchQuery> qs;
+  // Q1: lineitem scan.
+  qs.push_back(Make(1, {Atom{"lineitem", Schema{V::ok}}}));
+  // Q2: part - partsupp - supplier - nation - region (min-cost subquery
+  // flattened away).
+  qs.push_back(Make(2, {Atom{"part", Schema{V::pk}},
+                        Atom{"partsupp", Schema{V::pk, V::sk}},
+                        Atom{"supplier", Schema{V::sk, V::nk}},
+                        Atom{"nation", Schema{V::nk, V::rk}},
+                        Atom{"region", Schema{V::rk}}}));
+  // Q3: customer - orders - lineitem.
+  qs.push_back(Make(3, {Atom{"customer", Schema{V::ck}},
+                        Atom{"orders", Schema{V::ok, V::ck}},
+                        Atom{"lineitem", Schema{V::ok}}}));
+  // Q4: orders - lineitem (exists).
+  qs.push_back(Make(4, {Atom{"orders", Schema{V::ok}},
+                        Atom{"lineitem", Schema{V::ok}}}));
+  // Q5: customer - orders - lineitem - supplier - nation - region, with
+  // the customer and supplier sharing the nation.
+  qs.push_back(Make(5, {Atom{"customer", Schema{V::ck, V::nk}},
+                        Atom{"orders", Schema{V::ok, V::ck}},
+                        Atom{"lineitem", Schema{V::ok, V::sk}},
+                        Atom{"supplier", Schema{V::sk, V::nk}},
+                        Atom{"nation", Schema{V::nk, V::rk}},
+                        Atom{"region", Schema{V::rk}}}));
+  // Q6: lineitem scan.
+  qs.push_back(Make(6, {Atom{"lineitem", Schema{V::ok}}}));
+  // Q7: supplier - lineitem - orders - customer with two nations.
+  qs.push_back(Make(7, {Atom{"supplier", Schema{V::sk, V::nk2}},
+                        Atom{"lineitem", Schema{V::ok, V::sk}},
+                        Atom{"orders", Schema{V::ok, V::ck}},
+                        Atom{"customer", Schema{V::ck, V::nk}},
+                        Atom{"nation", Schema{V::nk}},
+                        Atom{"nation", Schema{V::nk2}}}));
+  // Q8: part - lineitem - supplier - orders - customer - nation x2 -
+  // region (customer's nation reaches the region).
+  qs.push_back(Make(8, {Atom{"part", Schema{V::pk}},
+                        Atom{"lineitem", Schema{V::ok, V::pk, V::sk}},
+                        Atom{"supplier", Schema{V::sk, V::nk2}},
+                        Atom{"orders", Schema{V::ok, V::ck}},
+                        Atom{"customer", Schema{V::ck, V::nk}},
+                        Atom{"nation", Schema{V::nk, V::rk}},
+                        Atom{"nation", Schema{V::nk2}},
+                        Atom{"region", Schema{V::rk}}}));
+  // Q9: part - lineitem - partsupp - supplier - orders - nation.
+  qs.push_back(Make(9, {Atom{"part", Schema{V::pk}},
+                        Atom{"lineitem", Schema{V::ok, V::pk, V::sk}},
+                        Atom{"partsupp", Schema{V::pk, V::sk}},
+                        Atom{"supplier", Schema{V::sk, V::nk}},
+                        Atom{"orders", Schema{V::ok}},
+                        Atom{"nation", Schema{V::nk}}}));
+  // Q10: customer - orders - lineitem - nation.
+  qs.push_back(Make(10, {Atom{"customer", Schema{V::ck, V::nk}},
+                         Atom{"orders", Schema{V::ok, V::ck}},
+                         Atom{"lineitem", Schema{V::ok}},
+                         Atom{"nation", Schema{V::nk}}}));
+  // Q11: partsupp - supplier - nation.
+  qs.push_back(Make(11, {Atom{"partsupp", Schema{V::pk, V::sk}},
+                         Atom{"supplier", Schema{V::sk, V::nk}},
+                         Atom{"nation", Schema{V::nk}}}));
+  // Q12: orders - lineitem.
+  qs.push_back(Make(12, {Atom{"orders", Schema{V::ok}},
+                         Atom{"lineitem", Schema{V::ok}}}));
+  // Q13: customer - orders (outer join flattened).
+  qs.push_back(Make(13, {Atom{"customer", Schema{V::ck}},
+                         Atom{"orders", Schema{V::ok, V::ck}}}));
+  // Q14: lineitem - part.
+  qs.push_back(Make(14, {Atom{"lineitem", Schema{V::ok, V::pk}},
+                         Atom{"part", Schema{V::pk}}}));
+  // Q15: lineitem - supplier (revenue view on suppkey).
+  qs.push_back(Make(15, {Atom{"lineitem", Schema{V::ok, V::sk}},
+                         Atom{"supplier", Schema{V::sk}}}));
+  // Q16: partsupp - part - supplier (NOT IN flattened).
+  qs.push_back(Make(16, {Atom{"partsupp", Schema{V::pk, V::sk}},
+                         Atom{"part", Schema{V::pk}},
+                         Atom{"supplier", Schema{V::sk}}}));
+  // Q17: lineitem - part with a correlated lineitem self-join on partkey.
+  qs.push_back(Make(17, {Atom{"lineitem", Schema{V::ok, V::pk}},
+                         Atom{"part", Schema{V::pk}},
+                         Atom{"lineitem", Schema{V::ok2, V::pk}}}));
+  // Q18: customer - orders - lineitem with a lineitem self-join on the
+  // order key (the IN subquery).
+  qs.push_back(Make(18, {Atom{"customer", Schema{V::ck}},
+                         Atom{"orders", Schema{V::ok, V::ck}},
+                         Atom{"lineitem", Schema{V::ok}},
+                         Atom{"lineitem", Schema{V::ok}}}));
+  // Q19: lineitem - part.
+  qs.push_back(Make(19, {Atom{"lineitem", Schema{V::ok, V::pk}},
+                         Atom{"part", Schema{V::pk}}}));
+  // Q20: supplier - nation - partsupp - part - lineitem (subqueries
+  // flattened onto the (pk, sk) correlation).
+  qs.push_back(Make(20, {Atom{"supplier", Schema{V::sk, V::nk}},
+                         Atom{"nation", Schema{V::nk}},
+                         Atom{"partsupp", Schema{V::pk, V::sk}},
+                         Atom{"part", Schema{V::pk}},
+                         Atom{"lineitem", Schema{V::ok, V::pk, V::sk}}}));
+  // Q21: supplier - lineitem - orders - nation with a second lineitem of
+  // another supplier on the same order.
+  qs.push_back(Make(21, {Atom{"supplier", Schema{V::sk, V::nk}},
+                         Atom{"lineitem", Schema{V::ok, V::sk}},
+                         Atom{"orders", Schema{V::ok}},
+                         Atom{"nation", Schema{V::nk}},
+                         Atom{"lineitem", Schema{V::ok, V::sk2}}}));
+  // Q22: customer - orders (NOT EXISTS flattened).
+  qs.push_back(Make(22, {Atom{"customer", Schema{V::ck}},
+                         Atom{"orders", Schema{V::ok, V::ck}}}));
+  return qs;
+}
+
+FdSet TpchFdsFor(const Query& q) {
+  FdSet fds;
+  for (const Atom& a : q.atoms()) {
+    bool keyed_binary = a.relation == "nation" || a.relation == "supplier" ||
+                        a.relation == "customer" || a.relation == "orders";
+    if (keyed_binary && a.schema.size() == 2) {
+      fds.push_back(Fd{Schema{a.schema[0]}, Schema{a.schema[1]}});
+    }
+  }
+  return fds;
+}
+
+}  // namespace incr

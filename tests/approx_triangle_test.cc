@@ -1,0 +1,77 @@
+// Approximate triangle counter (§3.3's [29] pointer): estimator sanity,
+// delete-consistency of the deterministic sampling, degenerate p=1 case.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "incr/ivme/approx_triangle.h"
+#include "incr/util/rng.h"
+#include "incr/workload/graph.h"
+
+namespace incr {
+namespace {
+
+TEST(ApproxTriangleTest, FullRateIsExact) {
+  ApproxTriangleCounter approx(1.0, 0.5, 1);
+  NaiveTriangleCounter exact;
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    auto rel = static_cast<TriangleRel>(rng.Uniform(3));
+    Value a = rng.UniformInt(0, 30), b = rng.UniformInt(0, 30);
+    approx.Update(rel, a, b, 1);
+    exact.Update(rel, a, b, 1);
+  }
+  EXPECT_DOUBLE_EQ(approx.Estimate(),
+                   static_cast<double>(exact.Count()));
+}
+
+TEST(ApproxTriangleTest, DeletesAreSampleConsistent) {
+  // Insert then delete the same stream: the sampled sub-database must be
+  // empty again regardless of which tuples were sampled.
+  ApproxTriangleCounter approx(0.3, 0.5, 7);
+  Rng rng(3);
+  std::vector<std::pair<TriangleRel, Tuple>> stream;
+  for (int i = 0; i < 3000; ++i) {
+    auto rel = static_cast<TriangleRel>(rng.Uniform(3));
+    Tuple t{rng.UniformInt(0, 40), rng.UniformInt(0, 40)};
+    stream.emplace_back(rel, t);
+    approx.Update(rel, t[0], t[1], 1);
+  }
+  for (const auto& [rel, t] : stream) approx.Update(rel, t[0], t[1], -1);
+  EXPECT_EQ(approx.SampledCount(), 0);
+  EXPECT_DOUBLE_EQ(approx.Estimate(), 0.0);
+}
+
+TEST(ApproxTriangleTest, SamplingRateIsRespected) {
+  ApproxTriangleCounter approx(0.25, 0.5, 11);
+  Rng rng(4);
+  const int kUpdates = 20000;
+  for (int i = 0; i < kUpdates; ++i) {
+    approx.Update(static_cast<TriangleRel>(rng.Uniform(3)),
+                  rng.UniformInt(0, 1 << 20), rng.UniformInt(0, 1 << 20), 1);
+  }
+  double rate = static_cast<double>(approx.sampled_updates()) / kUpdates;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(ApproxTriangleTest, EstimatorIsInTheRightBallpark) {
+  // Dense-ish random digraph: many triangles; the p=0.5 estimate should
+  // land within a loose relative error band (this is a smoke bound, not a
+  // concentration proof; seeds fixed).
+  const int kV = 60;
+  NaiveTriangleCounter exact;
+  ApproxTriangleCounter approx(0.5, 0.5, 13);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    auto rel = static_cast<TriangleRel>(rng.Uniform(3));
+    Value a = rng.UniformInt(0, kV - 1), b = rng.UniformInt(0, kV - 1);
+    exact.Update(rel, a, b, 1);
+    approx.Update(rel, a, b, 1);
+  }
+  double truth = static_cast<double>(exact.Count());
+  ASSERT_GT(truth, 1000);
+  EXPECT_NEAR(approx.Estimate() / truth, 1.0, 0.35);
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,153 @@
+// Cascade tests (paper §4.2, Ex. 4.5): rewriting discovery, and the engine
+// against oracles under interleaved updates and enumerations at arbitrary
+// points (DESIGN.md invariant 12).
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "incr/cascade/cascade_engine.h"
+#include "incr/engines/join.h"
+#include "incr/query/rewriting.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, D = 3 };
+
+Query Q1() {
+  // Ex. 4.5: Q1(A,B,C,D) = R(A,B) * S(B,C) * T(C,D) — not q-hierarchical.
+  return Query("Q1", Schema{A, B, C, D},
+               {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+                Atom{"T", Schema{C, D}}});
+}
+
+Query Q2() {
+  // Ex. 4.5: Q2(A,B,C) = R(A,B) * S(B,C) — q-hierarchical.
+  return Query("Q2", Schema{A, B, C},
+               {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}}});
+}
+
+TEST(RewritingTest, Example45RewriteFound) {
+  auto rw = FindViewRewriting(Q1(), Q2(), "V", Schema{A, B, C});
+  ASSERT_TRUE(rw.ok()) << rw.status().ToString();
+  // Identity homomorphism; R and S covered.
+  EXPECT_EQ(rw->hom.at(A), A);
+  EXPECT_EQ(rw->hom.at(B), B);
+  EXPECT_EQ(rw->hom.at(C), C);
+  EXPECT_EQ(rw->covered_atoms, (std::vector<size_t>{0, 1}));
+  // Q1'(A,B,C,D) = V(A,B,C) * T(C,D) is q-hierarchical (the paper's point).
+  EXPECT_TRUE(IsQHierarchical(rw->rewritten));
+}
+
+TEST(RewritingTest, RejectsWhenBoundVarLeaks) {
+  // Q2'(A,C) = SUM_B R(A,B)*S(B,C): its bound B maps to Q1's B, which Q1
+  // exposes as free => the rewriting would lose B.
+  Query q2b("Q2b", Schema{A, C},
+            {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}}});
+  auto rw = FindViewRewriting(Q1(), q2b, "V", Schema{A, C});
+  EXPECT_FALSE(rw.ok());
+}
+
+TEST(RewritingTest, RejectsWhenNoHomomorphismExists) {
+  Query q2 = Query("Qx", Schema{A, B}, {Atom{"X", Schema{A, B}}});
+  EXPECT_FALSE(FindViewRewriting(Q1(), q2, "V", Schema{A, B}).ok());
+}
+
+TEST(CascadeEngineTest, PaperExampleMaintainsBothQueries) {
+  auto e = CascadeEngine<IntRing>::Make(Q1(), Q2());
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_TRUE(e->RewrittenIsQHierarchical());
+
+  e->Update("R", Tuple{1, 10}, 1);
+  e->Update("S", Tuple{10, 20}, 1);
+  e->Update("T", Tuple{20, 30}, 1);
+  e->Update("T", Tuple{20, 31}, 2);
+
+  std::map<Tuple, int64_t> q2_out;
+  size_t n2 = e->EnumerateQ2([&](const Tuple& t, const int64_t& p) {
+    q2_out[t] = p;
+  });
+  EXPECT_EQ(n2, 1u);
+
+  std::map<Tuple, int64_t> q1_out;
+  size_t n1 = e->EnumerateQ1([&](const Tuple& t, const int64_t& p) {
+    q1_out[t] = p;
+  });
+  EXPECT_EQ(n1, 2u);  // (1,10,20,30) and (1,10,20,31)
+  int64_t total = 0;
+  for (const auto& [t, p] : q1_out) total += p;
+  EXPECT_EQ(total, 3);  // payloads 1 and 2
+}
+
+TEST(CascadeEngineTest, DeletionsFlowThroughTheSweep) {
+  auto e = CascadeEngine<IntRing>::Make(Q1(), Q2());
+  ASSERT_TRUE(e.ok());
+  e->Update("R", Tuple{1, 10}, 1);
+  e->Update("S", Tuple{10, 20}, 1);
+  e->Update("T", Tuple{20, 30}, 1);
+  EXPECT_EQ(e->EnumerateQ1(nullptr), 1u);
+  // Delete S: Q2 loses its tuple; the next Q2 enumeration sweeps it out of
+  // V_Q2 and Q1 follows.
+  e->Update("S", Tuple{10, 20}, -1);
+  EXPECT_EQ(e->EnumerateQ2(nullptr), 0u);
+  EXPECT_EQ(e->EnumerateQ1(nullptr), 0u);
+}
+
+TEST(CascadeEngineTest, RandomStreamMatchesOracles) {
+  Query q1 = Q1(), q2 = Q2();
+  auto e = CascadeEngine<IntRing>::Make(q1, q2);
+  ASSERT_TRUE(e.ok());
+  Relation<IntRing> r(Schema{A, B}), s(Schema{B, C}), t(Schema{C, D});
+  Rng rng(21);
+  std::vector<std::pair<int, Tuple>> live;
+  auto apply = [&](int which, const Tuple& tp, int64_t m) {
+    const char* names[3] = {"R", "S", "T"};
+    e->Update(names[which], tp, m);
+    (which == 0 ? r : which == 1 ? s : t).Apply(tp, m);
+  };
+  for (int step = 0; step < 3000; ++step) {
+    if (!live.empty() && rng.Chance(0.35)) {
+      size_t i = rng.Uniform(live.size());
+      apply(live[i].first, live[i].second, -1);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      int which = static_cast<int>(rng.Uniform(3));
+      Tuple tp{rng.UniformInt(0, 8), rng.UniformInt(0, 8)};
+      apply(which, tp, 1);
+      live.emplace_back(which, tp);
+    }
+    if (step % 311 != 0) continue;
+    // Oracles.
+    auto q2_oracle = EvaluateQuery<IntRing>(q2, {&r, &s});
+    auto q1_oracle = EvaluateQuery<IntRing>(q1, {&r, &s, &t});
+    // Sometimes enumerate Q2 first (the paper's condition), sometimes go
+    // straight to Q1 (engine must self-sync).
+    if (rng.Chance(0.5)) {
+      std::map<Tuple, int64_t> got2;
+      size_t n2 = e->EnumerateQ2(
+          [&](const Tuple& tp, const int64_t& p) { got2[tp] = p; });
+      ASSERT_EQ(n2, q2_oracle.size());
+      auto pos2 = ProjectionPositions(e->OutputSchemaQ2(), q2.free());
+      for (const auto& [tp, p] : got2) {
+        ASSERT_EQ(q2_oracle.Payload(ProjectTuple(tp, pos2)), p);
+      }
+    }
+    std::map<Tuple, int64_t> got1;
+    size_t n1 = e->EnumerateQ1(
+        [&](const Tuple& tp, const int64_t& p) { got1[tp] = p; });
+    ASSERT_EQ(n1, q1_oracle.size()) << "step " << step;
+    // Q1's enumerator emits free vars in preorder of the rewritten query;
+    // project the oracle keys accordingly.
+    Schema out_schema = e->OutputSchemaQ1();
+    auto pos = ProjectionPositions(out_schema, q1.free());
+    for (const auto& [tp, p] : got1) {
+      ASSERT_EQ(q1_oracle.Payload(ProjectTuple(tp, pos)), p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incr

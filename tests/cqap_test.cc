@@ -1,0 +1,178 @@
+// CQAP tests (paper §4.3): fracture construction, the tractability
+// dichotomy on the paper's Ex. 4.6 catalog, and the access engine against
+// an oracle.
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "incr/cqap/cqap_engine.h"
+#include "incr/engines/join.h"
+#include "incr/query/cqap.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, D = 3 };
+
+CqapQuery TriangleDetection() {
+  // Ex. 4.6: Q(.|A,B,C) = E(A,B)*E(B,C)*E(C,A) — tractable.
+  return CqapQuery::Make("tri", Schema{A, B, C}, Schema{},
+                         {Atom{"E", Schema{A, B}}, Atom{"E", Schema{B, C}},
+                          Atom{"E", Schema{C, A}}});
+}
+
+CqapQuery EdgeTriangleListing() {
+  // Ex. 4.6: Q(C|A,B) = E(A,B)*E(B,C)*E(C,A) — NOT tractable.
+  return CqapQuery::Make("etl", Schema{A, B}, Schema{C},
+                         {Atom{"E", Schema{A, B}}, Atom{"E", Schema{B, C}},
+                          Atom{"E", Schema{C, A}}});
+}
+
+CqapQuery LookupQuery() {
+  // Ex. 4.6: Q(A|B) = S(A,B)*T(B) — tractable.
+  return CqapQuery::Make("lookup", Schema{B}, Schema{A},
+                         {Atom{"S", Schema{A, B}}, Atom{"T", Schema{B}}});
+}
+
+TEST(CqapTest, FractureOfTriangleDetection) {
+  Fracture f = ComputeFracture(TriangleDetection());
+  // Every atom becomes its own component: input vars disconnect the query.
+  EXPECT_EQ(f.components.size(), 3u);
+  for (const auto& comp : f.components) {
+    EXPECT_EQ(comp.query.atoms().size(), 1u);
+    EXPECT_EQ(comp.inputs.size(), 2u);
+    EXPECT_TRUE(comp.output.empty());
+  }
+  EXPECT_EQ(f.fractured_input.size(), 6u);
+}
+
+TEST(CqapTest, FractureOfEdgeListing) {
+  Fracture f = ComputeFracture(EdgeTriangleListing());
+  // E(A,B) splits off; E(B,C)*E(C,A) stay connected through output C.
+  ASSERT_EQ(f.components.size(), 2u);
+  size_t sizes[2] = {f.components[0].query.atoms().size(),
+                     f.components[1].query.atoms().size()};
+  EXPECT_EQ(sizes[0] + sizes[1], 3u);
+  EXPECT_TRUE((sizes[0] == 1 && sizes[1] == 2) ||
+              (sizes[0] == 2 && sizes[1] == 1));
+}
+
+TEST(CqapTest, TractabilityDichotomyOnPaperCatalog) {
+  EXPECT_TRUE(IsTractableCqap(TriangleDetection()));
+  EXPECT_FALSE(IsTractableCqap(EdgeTriangleListing()));
+  EXPECT_TRUE(IsTractableCqap(LookupQuery()));
+  // A q-hierarchical query with no input vars is a tractable CQAP (§4.3:
+  // "the q-hierarchical queries are the tractable CQAPs without input
+  // variables").
+  CqapQuery fig3 = CqapQuery::Make(
+      "fig3", Schema{}, Schema{A, B, C},
+      {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  EXPECT_TRUE(IsTractableCqap(fig3));
+  // A non-q-hierarchical query with no input vars is not tractable.
+  CqapQuery nonq = CqapQuery::Make(
+      "nonq", Schema{}, Schema{A},
+      {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  EXPECT_FALSE(IsTractableCqap(nonq));
+}
+
+TEST(CqapTest, EngineRejectsIntractable) {
+  EXPECT_FALSE(CqapEngine<IntRing>::Make(EdgeTriangleListing()).ok());
+}
+
+TEST(CqapEngineTest, TriangleDetectionAccess) {
+  auto e = CqapEngine<IntRing>::Make(TriangleDetection());
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  e->Update("E", Tuple{1, 2}, 1);
+  e->Update("E", Tuple{2, 3}, 1);
+  e->Update("E", Tuple{3, 1}, 1);
+  e->Update("E", Tuple{2, 4}, 1);
+  EXPECT_TRUE(e->Check(Tuple{1, 2, 3}));
+  EXPECT_FALSE(e->Check(Tuple{1, 2, 4}));  // E(4,1) missing
+  EXPECT_FALSE(e->Check(Tuple{3, 2, 1}));  // orientation matters
+  // Deleting an edge breaks the triangle.
+  e->Update("E", Tuple{2, 3}, -1);
+  EXPECT_FALSE(e->Check(Tuple{1, 2, 3}));
+}
+
+TEST(CqapEngineTest, LookupQueryAccess) {
+  auto e = CqapEngine<IntRing>::Make(LookupQuery());
+  ASSERT_TRUE(e.ok());
+  e->Update("S", Tuple{10, 1}, 1);
+  e->Update("S", Tuple{11, 1}, 2);
+  e->Update("S", Tuple{12, 2}, 1);
+  e->Update("T", Tuple{1}, 3);
+
+  std::map<Value, int64_t> got;
+  size_t n = e->Access(Tuple{1}, [&](const Tuple& t, const int64_t& p) {
+    got[t[0]] = p;
+  });
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(got[10], 3);      // S(10,1)*T(1) = 1*3
+  EXPECT_EQ(got[11], 6);      // 2*3
+  EXPECT_EQ(e->Access(Tuple{2}, nullptr), 0u);  // T(2) missing
+  e->Update("T", Tuple{2}, 1);
+  EXPECT_EQ(e->Access(Tuple{2}, nullptr), 1u);
+}
+
+TEST(CqapEngineTest, RandomStreamMatchesOracle) {
+  // Property: Access(input) == from-scratch evaluation of the query with
+  // input variables substituted, under random insert/delete streams.
+  CqapQuery q = LookupQuery();
+  auto e = CqapEngine<IntRing>::Make(q);
+  ASSERT_TRUE(e.ok());
+  Relation<IntRing> s_rel(Schema{A, B});
+  Relation<IntRing> t_rel(Schema{B});
+  Rng rng(99);
+  std::vector<std::pair<int, Tuple>> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (!live.empty() && rng.Chance(0.35)) {
+      size_t i = rng.Uniform(live.size());
+      auto [which, t] = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      if (which == 0) {
+        e->Update("S", t, -1);
+        s_rel.Apply(t, -1);
+      } else {
+        e->Update("T", t, -1);
+        t_rel.Apply(t, -1);
+      }
+    } else if (rng.Chance(0.6)) {
+      Tuple t{rng.UniformInt(0, 15), rng.UniformInt(0, 5)};
+      e->Update("S", t, 1);
+      s_rel.Apply(t, 1);
+      live.emplace_back(0, t);
+    } else {
+      Tuple t{rng.UniformInt(0, 5)};
+      e->Update("T", t, 1);
+      t_rel.Apply(t, 1);
+      live.emplace_back(1, t);
+    }
+    if (step % 201 != 0) continue;
+    for (Value b = 0; b <= 5; ++b) {
+      // Oracle: Q_b(A) = S(A,b)*T(b) via full evaluation with B pinned by
+      // an auxiliary singleton relation.
+      Relation<IntRing> pin(Schema{B});
+      pin.Apply(Tuple{b}, 1);
+      Query flat("flat", Schema{A},
+                 {Atom{"S", Schema{A, B}}, Atom{"T", Schema{B}},
+                  Atom{"Pin", Schema{B}}});
+      auto oracle = EvaluateQuery<IntRing>(
+          flat, {&s_rel, &t_rel, &pin});
+      std::map<Value, int64_t> got;
+      size_t n = e->Access(Tuple{b}, [&](const Tuple& t, const int64_t& p) {
+        got[t[0]] = p;
+      });
+      ASSERT_EQ(n, oracle.size()) << "b=" << b << " step=" << step;
+      for (const auto& entry : oracle) {
+        ASSERT_EQ(got[entry.key[0]], entry.value) << "b=" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,197 @@
+// Tests for schema ops, dictionary, grouped index, relation, database
+// (DESIGN.md invariants 2-3).
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "incr/data/database.h"
+#include "incr/data/grouped_index.h"
+#include "incr/data/relation.h"
+#include "incr/data/schema.h"
+#include "incr/data/value.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  Value a = dict.Intern("alpha");
+  Value b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  ASSERT_NE(dict.Lookup(a), nullptr);
+  EXPECT_EQ(*dict.Lookup(a), "alpha");
+  EXPECT_EQ(dict.Lookup(999), nullptr);
+}
+
+TEST(SchemaTest, RegistryRoundTrip) {
+  VarRegistry vars;
+  Var a = vars.GetOrCreate("A");
+  Var b = vars.GetOrCreate("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(vars.GetOrCreate("A"), a);
+  EXPECT_EQ(vars.Name(a), "A");
+  EXPECT_TRUE(vars.Get("B").has_value());
+  EXPECT_FALSE(vars.Get("C").has_value());
+}
+
+TEST(SchemaTest, SetOperations) {
+  Schema ab{0, 1};
+  Schema bc{1, 2};
+  EXPECT_TRUE(SchemaContains(ab, 1));
+  EXPECT_FALSE(SchemaContains(ab, 2));
+  EXPECT_TRUE(SchemaSubset(Schema{1}, ab));
+  EXPECT_FALSE(SchemaSubset(bc, ab));
+  EXPECT_EQ(SchemaIntersect(ab, bc), (Schema{1}));
+  EXPECT_EQ(SchemaUnion(ab, bc), (Schema{0, 1, 2}));
+  EXPECT_EQ(SchemaMinus(ab, bc), (Schema{0}));
+}
+
+TEST(SchemaTest, ProjectionPositions) {
+  Schema from{10, 20, 30};
+  auto pos = ProjectionPositions(from, Schema{30, 10});
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], 2u);
+  EXPECT_EQ(pos[1], 0u);
+  Tuple t{100, 200, 300};
+  EXPECT_EQ(ProjectTuple(t, pos), (Tuple{300, 100}));
+}
+
+TEST(GroupedIndexTest, InsertEraseGroups) {
+  Schema base{0, 1};      // (A, B)
+  GroupedIndex idx(base, Schema{0});  // group by A
+  idx.Insert(Tuple{1, 10});
+  idx.Insert(Tuple{1, 11});
+  idx.Insert(Tuple{2, 20});
+  EXPECT_EQ(idx.NumGroups(), 2u);
+  EXPECT_EQ(idx.GroupSize(Tuple{1}), 2u);
+  EXPECT_EQ(idx.GroupSize(Tuple{2}), 1u);
+  EXPECT_EQ(idx.GroupSize(Tuple{3}), 0u);
+
+  EXPECT_TRUE(idx.Erase(Tuple{1, 10}));
+  EXPECT_FALSE(idx.Erase(Tuple{1, 10}));
+  EXPECT_EQ(idx.GroupSize(Tuple{1}), 1u);
+  const auto* g = idx.Group(Tuple{1});
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ((*g)[0], (Tuple{1, 11}));
+
+  EXPECT_TRUE(idx.Erase(Tuple{1, 11}));
+  EXPECT_EQ(idx.Group(Tuple{1}), nullptr);
+  EXPECT_EQ(idx.NumGroups(), 1u);
+}
+
+// Property: group contents equal a filter of the inserted set.
+class GroupedIndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupedIndexPropertyTest, MatchesFilterOracle) {
+  Rng rng(GetParam());
+  Schema base{0, 1};
+  GroupedIndex idx(base, Schema{1});  // group by B
+  std::set<Tuple> oracle;
+  for (int step = 0; step < 5000; ++step) {
+    Tuple t{rng.UniformInt(0, 30), rng.UniformInt(0, 10)};
+    if (oracle.count(t) == 0 && rng.Chance(0.6)) {
+      idx.Insert(t);
+      oracle.insert(t);
+    } else if (oracle.count(t) > 0) {
+      EXPECT_TRUE(idx.Erase(t));
+      oracle.erase(t);
+    } else {
+      EXPECT_FALSE(idx.Erase(t));
+    }
+  }
+  // Check each group against the oracle filter.
+  std::map<Value, std::set<Tuple>> expect;
+  for (const Tuple& t : oracle) expect[t[1]].insert(t);
+  EXPECT_EQ(idx.NumEntries(), oracle.size());
+  EXPECT_EQ(idx.NumGroups(), expect.size());
+  for (const auto& [b, members] : expect) {
+    const auto* g = idx.Group(Tuple{b});
+    ASSERT_NE(g, nullptr);
+    std::set<Tuple> got(g->begin(), g->end());
+    EXPECT_EQ(got, members);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedIndexPropertyTest,
+                         ::testing::Values(1, 7, 42, 1234));
+
+TEST(RelationTest, ApplyAccumulatesAndErasesZero) {
+  Relation<IntRing> r(Schema{0, 1});
+  r.Apply(Tuple{1, 2}, 3);
+  EXPECT_EQ(r.Payload(Tuple{1, 2}), 3);
+  EXPECT_EQ(r.size(), 1u);
+  r.Apply(Tuple{1, 2}, -1);
+  EXPECT_EQ(r.Payload(Tuple{1, 2}), 2);
+  r.Apply(Tuple{1, 2}, -2);
+  EXPECT_EQ(r.Payload(Tuple{1, 2}), 0);
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.Contains(Tuple{1, 2}));
+  // Zero delta is a no-op and does not materialize a zero tuple.
+  r.Apply(Tuple{5, 5}, 0);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, NegativePayloadsAreKept) {
+  // Out-of-order deletes may transiently produce negative multiplicities
+  // (paper S2); they must be represented, not dropped.
+  Relation<IntRing> r(Schema{0});
+  r.Apply(Tuple{1}, -2);
+  EXPECT_EQ(r.Payload(Tuple{1}), -2);
+  EXPECT_EQ(r.size(), 1u);
+  r.Apply(Tuple{1}, 2);
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, IndexesStayInSync) {
+  Relation<IntRing> r(Schema{0, 1});
+  size_t by_a = r.AddIndex(Schema{0});
+  r.Apply(Tuple{1, 10}, 1);
+  r.Apply(Tuple{1, 11}, 1);
+  r.Apply(Tuple{2, 20}, 1);
+  EXPECT_EQ(r.index(by_a).GroupSize(Tuple{1}), 2u);
+  // Payload update without zero-crossing must not duplicate index entries.
+  r.Apply(Tuple{1, 10}, 5);
+  EXPECT_EQ(r.index(by_a).GroupSize(Tuple{1}), 2u);
+  // Zero-crossing removes from the index.
+  r.Apply(Tuple{1, 10}, -6);
+  EXPECT_EQ(r.index(by_a).GroupSize(Tuple{1}), 1u);
+}
+
+TEST(RelationTest, AddIndexOnPopulatedRelation) {
+  Relation<IntRing> r(Schema{0, 1});
+  r.Apply(Tuple{1, 10}, 1);
+  r.Apply(Tuple{2, 20}, 1);
+  size_t by_b = r.AddIndex(Schema{1});
+  EXPECT_EQ(r.index(by_b).GroupSize(Tuple{10}), 1u);
+  EXPECT_EQ(r.index(by_b).GroupSize(Tuple{20}), 1u);
+}
+
+TEST(RelationTest, ClearEmptiesIndexes) {
+  Relation<IntRing> r(Schema{0, 1});
+  size_t by_a = r.AddIndex(Schema{0});
+  r.Apply(Tuple{1, 10}, 1);
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.index(by_a).NumEntries(), 0u);
+}
+
+TEST(DatabaseTest, NamedRelations) {
+  Database<IntRing> db;
+  RelId rid = db.AddRelation("R", Schema{0, 1});
+  RelId sid = db.AddRelation("S", Schema{1, 2});
+  EXPECT_EQ(db.NumRelations(), 2u);
+  EXPECT_EQ(db.Id("R"), rid);
+  EXPECT_EQ(db.Name(sid), "S");
+  db.relation(rid).Apply(Tuple{1, 2}, 1);
+  db.relation(sid).Apply(Tuple{2, 3}, 1);
+  EXPECT_EQ(db.TotalSize(), 2u);
+  EXPECT_NE(db.Find("R"), nullptr);
+  EXPECT_EQ(db.Find("X"), nullptr);
+}
+
+}  // namespace
+}  // namespace incr

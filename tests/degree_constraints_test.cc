@@ -1,0 +1,163 @@
+// Bounded-degree and small-domain constraints (paper §4.4's [5] and the
+// bounded-degree generalization of FDs): classifiers plus the shattered
+// engine against the oracle.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "incr/engines/join.h"
+#include "incr/engines/shattered_engine.h"
+#include "incr/query/degree_constraints.h"
+#include "incr/query/properties.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+enum : Var { W = 0, X = 1, Y = 2, Z = 3 };
+
+TEST(DegreeConstraintTest, GeneralizesFds) {
+  // Ex. 4.12's query under bounded-degree (k=3) versions of the FDs: same
+  // classification as with the k=1 FDs.
+  Query q("Q", Schema{Z, Y, X, W},
+          {Atom{"R", Schema{X, W}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y, Z}}});
+  DegreeConstraintSet dcs{{Schema{X}, Schema{Y}, 3},
+                          {Schema{Y}, Schema{Z}, 3}};
+  EXPECT_FALSE(IsHierarchical(q));
+  EXPECT_TRUE(IsQHierarchicalUnderDegreeConstraints(q, dcs));
+  EXPECT_EQ(AsFds(dcs).size(), 2u);
+  // An unrelated constraint does not help.
+  DegreeConstraintSet useless{{Schema{W}, Schema{X}, 2}};
+  EXPECT_FALSE(IsQHierarchicalUnderDegreeConstraints(q, useless));
+}
+
+TEST(SmallDomainTest, ShatteringClassification) {
+  // Ex. 4.3's non-hierarchical Q = R(X)*S(X,Y)*T(Y): with small-domain Y
+  // the residual R(X)*S(X) is q-hierarchical.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{X}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y}}});
+  EXPECT_FALSE(IsHierarchical(q));
+  EXPECT_TRUE(IsQHierarchicalUnderSmallDomains(q, Schema{Y}));
+  // Small X also works (residual S(Y)*T(Y)); small nothing does not.
+  EXPECT_TRUE(IsQHierarchicalUnderSmallDomains(q, Schema{X}));
+  Query residual = ShatterSmallDomains(q, Schema{Y});
+  EXPECT_EQ(residual.atoms().size(), 2u);  // T dropped
+  EXPECT_TRUE(IsQHierarchical(residual));
+}
+
+TEST(SmallDomainTest, ShatteringKeepsFreeVars) {
+  Query q("Q", Schema{X, Y},
+          {Atom{"R", Schema{X}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y}}});
+  Query residual = ShatterSmallDomains(q, Schema{Y});
+  EXPECT_EQ(residual.free(), (Schema{X}));
+}
+
+TEST(ShatteredEngineTest, RejectsUnhelpfulShattering) {
+  Query tri("tri", Schema{},
+            {Atom{"R", Schema{X, Y}}, Atom{"S", Schema{Y, Z}},
+             Atom{"T", Schema{Z, X}}});
+  // One small variable still leaves a non-q-hierarchical residual.
+  EXPECT_FALSE(ShatteredEngine<IntRing>::Make(tri, Schema{X}).ok());
+  // Two small variables shatter the triangle into R(Y)*S(Y) + scalars.
+  EXPECT_TRUE(ShatteredEngine<IntRing>::Make(tri, Schema{X, Z}).ok());
+}
+
+TEST(ShatteredEngineTest, MatchesOracleUnderChurn) {
+  // Q() = R(X) * S(X,Y) * T(Y) with small Y over a tiny domain.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{X}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y}}});
+  auto e = ShatteredEngine<IntRing>::Make(q, Schema{Y});
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+
+  Relation<IntRing> r(Schema{X}), s(Schema{X, Y}), t(Schema{Y});
+  Rng rng(11);
+  std::vector<std::pair<size_t, Tuple>> live;
+  const Value kSmallDomain = 4;
+  for (int step = 0; step < 2500; ++step) {
+    size_t atom;
+    Tuple tp;
+    int64_t m;
+    if (!live.empty() && rng.Chance(0.35)) {
+      size_t i = rng.Uniform(live.size());
+      atom = live[i].first;
+      tp = live[i].second;
+      m = -1;
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      atom = rng.Uniform(3);
+      switch (atom) {
+        case 0: tp = Tuple{rng.UniformInt(0, 30)}; break;
+        case 1:
+          tp = Tuple{rng.UniformInt(0, 30),
+                     rng.UniformInt(0, kSmallDomain - 1)};
+          break;
+        case 2: tp = Tuple{rng.UniformInt(0, kSmallDomain - 1)}; break;
+      }
+      m = 1;
+      live.emplace_back(atom, tp);
+    }
+    e->Update(atom, tp, m);
+    (atom == 0 ? r : atom == 1 ? s : t).Apply(tp, m);
+    if (step % 313 != 0) continue;
+    auto oracle = EvaluateQuery<IntRing>(q, {&r, &s, &t});
+    ASSERT_EQ(e->Aggregate(), oracle.Payload(Tuple{})) << "step " << step;
+  }
+  EXPECT_LE(e->NumShards(), static_cast<size_t>(kSmallDomain));
+}
+
+TEST(ShatteredEngineTest, EnumerationWithFreeResidualVars) {
+  // Q(X, Y) with small Y: outputs (assignment, residual tuple, payload).
+  Query q("Q", Schema{X, Y},
+          {Atom{"R", Schema{X}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y}}});
+  auto e = ShatteredEngine<IntRing>::Make(q, Schema{Y});
+  ASSERT_TRUE(e.ok());
+  e->Update(0, Tuple{1}, 1);
+  e->Update(0, Tuple{2}, 1);
+  e->Update(1, Tuple{1, 7}, 1);
+  e->Update(1, Tuple{2, 8}, 2);
+  e->Update(2, Tuple{7}, 1);
+
+  std::map<std::pair<Tuple, Tuple>, int64_t> got;
+  size_t n = e->Enumerate(
+      [&](const Tuple& small, const Tuple& rest, const int64_t& p) {
+        got[{small, rest}] = p;
+      });
+  // Only shard y=7 has T support: (y=7, x=1) -> 1.
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ((got[{Tuple{7}, Tuple{1}}]), 1);
+  // Adding T(8) lights up the second shard with payload 2*1*... R(2)*S(2,8)*T(8) = 1*2*1.
+  e->Update(2, Tuple{8}, 1);
+  got.clear();
+  n = e->Enumerate(
+      [&](const Tuple& small, const Tuple& rest, const int64_t& p) {
+        got[{small, rest}] = p;
+      });
+  ASSERT_EQ(n, 2u);
+  EXPECT_EQ((got[{Tuple{8}, Tuple{2}}]), 2);
+}
+
+TEST(ShatteredEngineTest, LateShardCreationReplaysBase) {
+  // Tuples inserted before a shard exists must appear once the shard is
+  // activated by a later small-value arrival.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{X}}, Atom{"S", Schema{X, Y}},
+           Atom{"T", Schema{Y}}});
+  auto e = ShatteredEngine<IntRing>::Make(q, Schema{Y});
+  ASSERT_TRUE(e.ok());
+  for (Value x = 0; x < 10; ++x) e->Update(0, Tuple{x}, 1);
+  EXPECT_EQ(e->NumShards(), 0u);  // no Y value seen yet
+  e->Update(1, Tuple{3, 42}, 1);  // activates shard y=42, replaying R
+  EXPECT_EQ(e->NumShards(), 1u);
+  e->Update(2, Tuple{42}, 5);
+  EXPECT_EQ(e->Aggregate(), 5);  // R(3)*S(3,42)*T(42) = 1*1*5
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,152 @@
+// DenseMap unit + property tests: oracle comparison against
+// std::unordered_map under random operation streams (DESIGN.md invariant 2).
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "incr/data/dense_map.h"
+#include "incr/data/tuple.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+TEST(DenseMapTest, InsertFindErase) {
+  DenseMap<int64_t, int64_t> m;
+  EXPECT_TRUE(m.empty());
+  m.GetOrInsert(1, 10);
+  m.GetOrInsert(2, 20);
+  ASSERT_NE(m.Find(1), nullptr);
+  EXPECT_EQ(*m.Find(1), 10);
+  EXPECT_EQ(m.Find(3), nullptr);
+  EXPECT_TRUE(m.Erase(1));
+  EXPECT_FALSE(m.Erase(1));
+  EXPECT_EQ(m.Find(1), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(DenseMapTest, GetOrInsertReturnsExisting) {
+  DenseMap<int64_t, int64_t> m;
+  m.GetOrInsert(5, 50);
+  int64_t& v = m.GetOrInsert(5, 999);
+  EXPECT_EQ(v, 50);
+  v = 51;
+  EXPECT_EQ(*m.Find(5), 51);
+}
+
+TEST(DenseMapTest, DenseIterationSeesAllEntries) {
+  DenseMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 100; ++i) m.GetOrInsert(i, i * 2);
+  int64_t sum = 0;
+  size_t count = 0;
+  for (const auto& e : m) {
+    sum += e.value;
+    ++count;
+  }
+  EXPECT_EQ(count, 100u);
+  EXPECT_EQ(sum, 99 * 100);  // 2 * (0+...+99)
+}
+
+TEST(DenseMapTest, GrowsThroughRehash) {
+  DenseMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 10000; ++i) m.GetOrInsert(i, i);
+  EXPECT_EQ(m.size(), 10000u);
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i);
+  }
+}
+
+TEST(DenseMapTest, TombstonePurgeKeepsLookupsCorrect) {
+  DenseMap<int64_t, int64_t> m;
+  // Repeated insert/erase at steady size forces tombstone-purging rebuilds.
+  for (int64_t round = 0; round < 50; ++round) {
+    for (int64_t i = 0; i < 100; ++i) m.GetOrInsert(round * 1000 + i, i);
+    for (int64_t i = 0; i < 100; ++i) EXPECT_TRUE(m.Erase(round * 1000 + i));
+  }
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(DenseMapTest, SwapRemovePatchesMovedSlot) {
+  DenseMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 10; ++i) m.GetOrInsert(i, i);
+  // Erase an element in the middle of the dense array; the last element is
+  // moved into its place and must still be findable.
+  EXPECT_TRUE(m.Erase(0));
+  for (int64_t i = 1; i < 10; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i);
+  }
+}
+
+TEST(DenseMapTest, TupleKeys) {
+  DenseMap<Tuple, int64_t, TupleHash, TupleEq> m;
+  m.GetOrInsert(Tuple{1, 2}, 12);
+  m.GetOrInsert(Tuple{2, 1}, 21);
+  EXPECT_EQ(*m.Find(Tuple{1, 2}), 12);
+  EXPECT_EQ(*m.Find(Tuple{2, 1}), 21);
+  EXPECT_EQ(m.Find(Tuple{1, 1}), nullptr);
+}
+
+TEST(DenseMapTest, ReserveDoesNotLoseEntries) {
+  DenseMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 10; ++i) m.GetOrInsert(i, i);
+  m.Reserve(100000);
+  for (int64_t i = 0; i < 10; ++i) ASSERT_NE(m.Find(i), nullptr);
+}
+
+// Property test: random streams of insert/update/erase against an oracle.
+class DenseMapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DenseMapPropertyTest, MatchesUnorderedMapOracle) {
+  Rng rng(GetParam());
+  DenseMap<int64_t, int64_t> m;
+  std::unordered_map<int64_t, int64_t> oracle;
+  const int64_t kKeySpace = 200;  // small key space => many collisions/reuse
+  for (int step = 0; step < 20000; ++step) {
+    int64_t key = rng.UniformInt(0, kKeySpace - 1);
+    switch (rng.Uniform(3)) {
+      case 0: {  // upsert
+        int64_t val = rng.UniformInt(-100, 100);
+        m.GetOrInsert(key, 0) = val;
+        oracle[key] = val;
+        break;
+      }
+      case 1: {  // erase
+        bool a = m.Erase(key);
+        bool b = oracle.erase(key) > 0;
+        ASSERT_EQ(a, b);
+        break;
+      }
+      case 2: {  // lookup
+        const int64_t* v = m.Find(key);
+        auto it = oracle.find(key);
+        if (it == oracle.end()) {
+          ASSERT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), oracle.size());
+  }
+  // Final full-content check via dense iteration.
+  size_t seen = 0;
+  for (const auto& e : m) {
+    auto it = oracle.find(e.key);
+    ASSERT_NE(it, oracle.end());
+    ASSERT_EQ(e.value, it->second);
+    ++seen;
+  }
+  ASSERT_EQ(seen, oracle.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseMapPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+}  // namespace
+}  // namespace incr

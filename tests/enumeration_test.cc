@@ -1,0 +1,211 @@
+// Extended enumeration and ring-through-the-stack coverage: structural
+// delay properties, bindings under churn, Boolean and min-plus semirings,
+// covariance-ring aggregates maintained by the view tree.
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree.h"
+#include "incr/ring/bool_semiring.h"
+#include "incr/ring/covar_ring.h"
+#include "incr/ring/int_ring.h"
+#include "incr/ring/minplus_semiring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, D = 3 };
+
+TEST(EnumerationTest, IteratorContractBasics) {
+  Query q("Q", Schema{A, B}, {Atom{"R", Schema{A, B}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  {
+    ViewTreeEnumerator<IntRing> it(*tree);
+    EXPECT_FALSE(it.Valid());  // empty
+  }
+  tree->Update("R", Tuple{1, 2}, 1);
+  ViewTreeEnumerator<IntRing> it(*tree);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.tuple(), (Tuple{1, 2}));
+  EXPECT_EQ(it.payload(), 1);
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(EnumerationTest, EachTupleExactlyOnceUnderChurn) {
+  // After heavy churn (inserts, deletes, re-inserts), enumeration yields
+  // each live tuple exactly once with the correct payload.
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(8);
+  std::map<Tuple, int64_t> r_live, s_live;
+  for (int i = 0; i < 5000; ++i) {
+    bool is_r = rng.Chance(0.5);
+    Tuple t{rng.UniformInt(0, 12), rng.UniformInt(0, 12)};
+    auto& live = is_r ? r_live : s_live;
+    if (live.count(t) > 0 && rng.Chance(0.5)) {
+      tree->Update(is_r ? "R" : "S", t, -live[t]);
+      live.erase(t);
+    } else {
+      tree->Update(is_r ? "R" : "S", t, 1);
+      ++live[t];
+    }
+  }
+  std::set<Tuple> seen;
+  for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
+    Tuple t = it.tuple();
+    ASSERT_TRUE(seen.insert(t).second);
+    auto ri = r_live.find(Tuple{t[0], t[1]});
+    auto si = s_live.find(Tuple{t[0], t[2]});
+    ASSERT_TRUE(ri != r_live.end() && si != s_live.end());
+    ASSERT_EQ(it.payload(), ri->second * si->second);
+  }
+  // Completeness.
+  size_t expect = 0;
+  for (const auto& [rt, rm] : r_live) {
+    for (const auto& [st, sm] : s_live) {
+      if (rt[0] == st[0]) ++expect;
+    }
+  }
+  EXPECT_EQ(seen.size(), expect);
+}
+
+TEST(EnumerationTest, StructuralDelayIsBounded) {
+  // Constant-delay claim, checked structurally rather than by wall clock:
+  // every W-group visited during enumeration is non-empty and every
+  // candidate yields an output tuple — no skips, so the work between
+  // consecutive outputs is O(#free vars).
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(15);
+  for (int i = 0; i < 800; ++i) {
+    tree->Update(rng.Chance(0.5) ? "R" : "S",
+                 Tuple{rng.UniformInt(0, 40), rng.UniformInt(0, 40)}, 1);
+  }
+  size_t outputs = 0;
+  for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
+    ASSERT_NE(it.payload(), 0);  // every emitted tuple is real
+    ++outputs;
+  }
+  // Cross-check count against the factorized views: for this query,
+  // |out| = sum over a of |R[a]| * |S[a]|.
+  size_t expect = 0;
+  const auto& w_root = tree->NodeW(tree->plan().roots()[0]);
+  for (const auto& e : w_root) {
+    Value a = e.key.back();
+    size_t rn = 0, sn = 0;
+    for (const auto& re : tree->AtomRelation(0)) rn += re.key[0] == a;
+    for (const auto& se : tree->AtomRelation(1)) sn += se.key[0] == a;
+    expect += rn * sn;
+    ASSERT_GT(rn * sn, 0u);  // calibration: every root value joins below
+  }
+  EXPECT_EQ(outputs, expect);
+}
+
+TEST(EnumerationTest, BindingsComposeAcrossTrees) {
+  // Disconnected query: bindings restrict each tree independently.
+  Query q("Q", Schema{A, B},
+          {Atom{"R", Schema{A}}, Atom{"S", Schema{B}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  for (Value v = 0; v < 5; ++v) {
+    tree->Update("R", Tuple{v}, 1);
+    tree->Update("S", Tuple{v + 100}, 1);
+  }
+  Binding b;
+  b.Bind(A, 3);
+  size_t n = 0;
+  for (ViewTreeEnumerator<IntRing> it(*tree, b); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.tuple()[0], 3);
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+  Binding both;
+  both.Bind(A, 3);
+  both.Bind(B, 102);
+  ViewTreeEnumerator<IntRing> it(*tree, both);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.tuple(), (Tuple{3, 102}));
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(EnumerationTest, BoolSemiringSetSemantics) {
+  // Insert-only Boolean maintenance: payloads are presence bits; repeated
+  // inserts are idempotent.
+  Query q("Q", Schema{A},
+          {Atom{"R", Schema{A, B}}});
+  auto tree = ViewTree<BoolSemiring>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->Update("R", Tuple{1, 5}, true);
+  tree->Update("R", Tuple{1, 5}, true);
+  tree->Update("R", Tuple{1, 6}, true);
+  tree->Update("R", Tuple{2, 5}, true);
+  size_t n = 0;
+  for (ViewTreeEnumerator<BoolSemiring> it(*tree); it.Valid(); it.Next()) {
+    EXPECT_TRUE(it.payload());
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);  // A in {1, 2}
+  EXPECT_TRUE(tree->Aggregate());
+}
+
+TEST(EnumerationTest, MinPlusShortestJoinCost) {
+  // Q() = min over (A,B) of R(A,B) + S(B): cheapest two-hop path cost,
+  // maintained under inserts (min-plus has no deletes).
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  auto tree = ViewTree<MinPlusSemiring>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(MinPlusSemiring::IsZero(tree->Aggregate()));  // empty: +inf
+  tree->Update("R", Tuple{1, 10}, 7);
+  tree->Update("S", Tuple{10}, 5);
+  EXPECT_EQ(tree->Aggregate(), 12);
+  tree->Update("R", Tuple{2, 11}, 1);
+  tree->Update("S", Tuple{11}, 2);
+  EXPECT_EQ(tree->Aggregate(), 3);
+  // A cheaper S(10) improves the first path but not below 3.
+  tree->Update("S", Tuple{10}, 1);
+  EXPECT_EQ(tree->Aggregate(), 3);
+}
+
+TEST(EnumerationTest, CovarRingGroupedStatistics) {
+  // Per-group (free variable) covariance payloads through enumeration.
+  using R1 = CovarRing<1>;
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A, B}}});
+  auto tree = ViewTree<R1>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->SetLifting(B, [](Value b) {
+    return R1::Lift(0, static_cast<double>(b));
+  });
+  tree->Update("R", Tuple{1, 10}, R1::One());
+  tree->Update("R", Tuple{1, 20}, R1::One());
+  tree->Update("R", Tuple{2, 5}, R1::One());
+  std::map<Value, CovarValue<1>> got;
+  for (ViewTreeEnumerator<R1> it(*tree); it.Valid(); it.Next()) {
+    // payload() multiplies atom payloads only (B is free? no — B is bound,
+    // so groups fold through M). Read group statistics from M of the bound
+    // child instead: the root W payload carries them.
+  }
+  // Group stats live in W at the root (A) since B is marginalized below.
+  const auto& w = tree->NodeW(tree->plan().roots()[0]);
+  ASSERT_EQ(w.size(), 2u);
+  CovarValue<1> g1 = w.Payload(Tuple{1});
+  EXPECT_EQ(g1.count, 2);
+  EXPECT_DOUBLE_EQ(g1.sum[0], 30.0);
+  EXPECT_DOUBLE_EQ(g1.prod[0], 100.0 + 400.0);
+  CovarValue<1> g2 = w.Payload(Tuple{2});
+  EXPECT_EQ(g2.count, 1);
+  EXPECT_DOUBLE_EQ(g2.sum[0], 5.0);
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,143 @@
+// EpsTradeoffEngine tests (paper Fig. 7): correctness against an oracle at
+// every eps, invariants under skewed streams, bulk load == incremental.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "incr/ivme/eps_tradeoff.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+// Oracle: plain maps.
+struct Oracle {
+  std::map<Tuple, int64_t> r;  // (a,b) -> payload
+  std::map<Value, int64_t> s;
+
+  std::map<Value, int64_t> Output() const {
+    std::map<Value, int64_t> q;
+    for (const auto& [t, m] : r) {
+      auto it = s.find(t[1]);
+      if (it == s.end()) continue;
+      q[t[0]] += m * it->second;
+    }
+    for (auto it = q.begin(); it != q.end();) {
+      it = it->second == 0 ? q.erase(it) : std::next(it);
+    }
+    return q;
+  }
+};
+
+void ExpectMatches(const EpsTradeoffEngine& e, const Oracle& o) {
+  std::map<Value, int64_t> got;
+  size_t n = e.Enumerate([&](Value a, int64_t q) { got[a] = q; });
+  EXPECT_EQ(n, got.size());
+  EXPECT_EQ(got, o.Output());
+}
+
+class EpsTradeoffTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsTradeoffTest, MatchesOracleUnderSkewedStream) {
+  double eps = GetParam();
+  EpsTradeoffEngine e(eps);
+  Oracle o;
+  Rng rng(42);
+  ZipfSampler zipf(50, 1.2);
+  std::vector<std::pair<bool, Tuple>> live;  // (is_r, tuple)
+  for (int step = 0; step < 4000; ++step) {
+    if (!live.empty() && rng.Chance(0.35)) {
+      size_t i = rng.Uniform(live.size());
+      auto [is_r, t] = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      if (is_r) {
+        e.UpdateR(t[0], t[1], -1);
+        if (--o.r[t] == 0) o.r.erase(t);
+      } else {
+        e.UpdateS(t[0], -1);
+        if (--o.s[t[0]] == 0) o.s.erase(t[0]);
+      }
+    } else if (rng.Chance(0.7)) {
+      Value a = rng.UniformInt(0, 40);
+      Value b = static_cast<Value>(zipf.Sample(rng));
+      e.UpdateR(a, b, 1);
+      ++o.r[Tuple{a, b}];
+      live.emplace_back(true, Tuple{a, b});
+    } else {
+      Value b = static_cast<Value>(zipf.Sample(rng));
+      e.UpdateS(b, 1);
+      ++o.s[b];
+      live.emplace_back(false, Tuple{b});
+    }
+    if (step % 251 == 0) {
+      ASSERT_TRUE(e.InvariantsHold()) << "eps=" << eps << " step=" << step;
+      ExpectMatches(e, o);
+    }
+  }
+  ASSERT_TRUE(e.InvariantsHold());
+  ExpectMatches(e, o);
+  // Spot-check point queries too.
+  for (Value a = 0; a <= 40; a += 7) {
+    auto out = o.Output();
+    auto it = out.find(a);
+    EXPECT_EQ(e.QueryOne(a), it == out.end() ? 0 : it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eps, EpsTradeoffTest,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(EpsTradeoffTest, BulkLoadMatchesIncremental) {
+  Rng rng(7);
+  std::vector<std::pair<Tuple, int64_t>> r;
+  std::vector<std::pair<Value, int64_t>> s;
+  for (int i = 0; i < 500; ++i) {
+    r.emplace_back(Tuple{rng.UniformInt(0, 30), rng.UniformInt(0, 20)}, 1);
+  }
+  for (Value b = 0; b <= 20; ++b) s.emplace_back(b, rng.UniformInt(1, 3));
+
+  EpsTradeoffEngine bulk(0.5);
+  bulk.BulkLoad(r, s);
+  EpsTradeoffEngine inc(0.5);
+  for (const auto& [t, m] : r) inc.UpdateR(t[0], t[1], m);
+  for (const auto& [b, m] : s) inc.UpdateS(b, m);
+
+  EXPECT_TRUE(bulk.InvariantsHold());
+  EXPECT_TRUE(inc.InvariantsHold());
+  std::map<Value, int64_t> a, b2;
+  bulk.Enumerate([&](Value v, int64_t q) { a[v] = q; });
+  inc.Enumerate([&](Value v, int64_t q) { b2[v] = q; });
+  EXPECT_EQ(a, b2);
+}
+
+TEST(EpsTradeoffTest, MigrationsHappenUnderSkew) {
+  EpsTradeoffEngine e(0.5);
+  // One hot B value accumulates degree, then drains.
+  for (Value a = 0; a < 300; ++a) e.UpdateR(a, 7, 1);
+  e.UpdateS(7, 1);
+  for (Value a = 0; a < 300; ++a) e.UpdateR(a, 7, -1);
+  EXPECT_GT(e.num_migrations(), 0);
+  EXPECT_GT(e.num_major_rebalances(), 0);
+  EXPECT_TRUE(e.InvariantsHold());
+  EXPECT_EQ(e.Enumerate(nullptr), 0u);
+}
+
+TEST(EpsTradeoffTest, ExtremesBehaveAsLazyAndEager) {
+  // eps=1: threshold ~ N, so nothing is heavy (pure eager view).
+  EpsTradeoffEngine eager(1.0);
+  for (Value a = 0; a < 50; ++a) eager.UpdateR(a, a % 5, 1);
+  for (Value b = 0; b < 5; ++b) eager.UpdateS(b, 1);
+  EXPECT_EQ(eager.NumHeavyKeys(), 0u);
+  EXPECT_EQ(eager.Enumerate(nullptr), 50u);
+  // eps=0: threshold 1, every key with degree >= 2 is heavy.
+  EpsTradeoffEngine lazy(0.0);
+  for (Value a = 0; a < 50; ++a) lazy.UpdateR(a, a % 5, 1);
+  for (Value b = 0; b < 5; ++b) lazy.UpdateS(b, 1);
+  EXPECT_GT(lazy.NumHeavyKeys(), 0u);
+  EXPECT_EQ(lazy.Enumerate(nullptr), 50u);
+  EXPECT_TRUE(lazy.InvariantsHold());
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,180 @@
+// Tests for PK-FK tracking (Ex. 4.13) and static/dynamic tractability
+// (§4.5, Ex. 4.14) + the mixed engine.
+#include <gtest/gtest.h>
+
+#include "incr/constraints/fk.h"
+#include "incr/engines/join.h"
+#include "incr/engines/mixed_engine.h"
+#include "incr/query/properties.h"
+#include "incr/query/static_dynamic.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+#include "incr/workload/imdb.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, D = 3 };
+
+TEST(FkTrackerTest, TracksDanglingChildren) {
+  FkConsistencyTracker tracker(
+      {{"M", 1, "C", 0}});  // M(mid, cid) references C(cid)
+  EXPECT_TRUE(tracker.IsConsistent());
+  tracker.OnUpdate("M", Tuple{1, 100}, 1);
+  EXPECT_FALSE(tracker.IsConsistent());
+  EXPECT_EQ(tracker.violations(), 1);
+  tracker.OnUpdate("M", Tuple{2, 100}, 1);
+  EXPECT_EQ(tracker.violations(), 2);
+  // The parent arrives: both resolved at once.
+  tracker.OnUpdate("C", Tuple{100}, 1);
+  EXPECT_TRUE(tracker.IsConsistent());
+  // Deleting the parent first re-dangles them.
+  tracker.OnUpdate("C", Tuple{100}, -1);
+  EXPECT_EQ(tracker.violations(), 2);
+  tracker.OnUpdate("M", Tuple{1, 100}, -1);
+  tracker.OnUpdate("M", Tuple{2, 100}, -1);
+  EXPECT_TRUE(tracker.IsConsistent());
+}
+
+TEST(FkTrackerTest, MultipleConstraints) {
+  FkConsistencyTracker tracker(
+      {{"M", 0, "T", 0}, {"M", 1, "C", 0}});
+  tracker.OnUpdate("M", Tuple{1, 2}, 1);
+  EXPECT_EQ(tracker.violations(), 2);  // both FKs dangling
+  tracker.OnUpdate("T", Tuple{1}, 1);
+  EXPECT_EQ(tracker.violations(), 1);
+  tracker.OnUpdate("C", Tuple{2}, 1);
+  EXPECT_TRUE(tracker.IsConsistent());
+}
+
+TEST(FkTrackerTest, ImdbValidBatchesRestoreConsistency) {
+  ImdbWorkload wl(5);
+  FkConsistencyTracker tracker({{"MovieCompanies", 0, "Title", 0},
+                                {"MovieCompanies", 1, "Company", 0}});
+  for (int round = 0; round < 10; ++round) {
+    auto batch = wl.NextValidBatch(/*n_companies=*/8, /*fanout=*/5);
+    bool saw_inconsistent = false;
+    for (const auto& u : batch) {
+      tracker.OnUpdate(u.rel, u.tuple, u.delta);
+      saw_inconsistent |= !tracker.IsConsistent();
+    }
+    EXPECT_TRUE(saw_inconsistent);          // adversarial order inside
+    EXPECT_TRUE(tracker.IsConsistent());    // valid at the boundary
+  }
+}
+
+TEST(FkMaintenanceTest, ImdbJoinMatchesOracleUnderValidBatches) {
+  // The non-hierarchical IMDB join maintained by the generic view tree:
+  // correct at every step; amortized O(1) is measured in bench_fk.
+  ImdbWorkload wl(7);
+  auto tree = ViewTree<IntRing>::Make(wl.query(), wl.Order());
+  ASSERT_TRUE(tree.ok());
+  Relation<IntRing> t_rel(Schema{ImdbWorkload::kMid});
+  Relation<IntRing> m_rel(Schema{ImdbWorkload::kMid, ImdbWorkload::kCid});
+  Relation<IntRing> c_rel(Schema{ImdbWorkload::kCid});
+  for (int round = 0; round < 6; ++round) {
+    for (const auto& u : wl.NextValidBatch(6, 4)) {
+      tree->Update(u.rel, u.tuple, u.delta);
+      (u.rel == "Title" ? t_rel : u.rel == "MovieCompanies" ? m_rel : c_rel)
+          .Apply(u.tuple, u.delta);
+    }
+    auto oracle = EvaluateQuery<IntRing>(wl.query(), {&t_rel, &m_rel, &c_rel});
+    size_t n = 0;
+    for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
+      Schema out = tree->OutputSchema();
+      auto pos = ProjectionPositions(out, wl.query().free());
+      ASSERT_EQ(oracle.Payload(ProjectTuple(it.tuple(), pos)), it.payload());
+      ++n;
+    }
+    ASSERT_EQ(n, oracle.size());
+  }
+}
+
+TEST(StaticDynamicTest, Example414IsMixedTractable) {
+  // Q(A,B,C) = SUM_D R^d(A,D) * S^d(A,B) * T^s(B,C).
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, D}}, Atom{"S", Schema{A, B}},
+           Atom{"T", Schema{B, C}}});
+  EXPECT_FALSE(IsQHierarchical(q));
+  // All-dynamic: not tractable.
+  EXPECT_FALSE(IsTractableMixed(q, {false, false, false}));
+  // T static: tractable (the paper's point).
+  EXPECT_TRUE(IsTractableMixed(q, {false, false, true}));
+  auto vo = FindMixedOrder(q, {false, false, true});
+  ASSERT_TRUE(vo.ok());
+  auto plan = ViewTreePlan::Make(q, *vo);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->ProgramsConstantTimeFor({0, 1}));
+  EXPECT_TRUE(plan->CanEnumerate().ok());
+}
+
+TEST(StaticDynamicTest, QHierarchicalAlwaysTractableAllDynamic) {
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  EXPECT_TRUE(IsTractableMixed(q, {false, false}));
+}
+
+TEST(StaticDynamicTest, NonHierarchicalExample43WithStaticMiddle) {
+  // Ex. 4.14 end: Q(A,B) = R^d(A) * S^s(A,B) * T^d(B). The paper notes
+  // this *can* be maintained but only with exponential preprocessing; the
+  // syntactic search (which only builds linear-preprocessing view trees)
+  // correctly fails to find a constant-time order.
+  Query q("Q", Schema{A, B},
+          {Atom{"R", Schema{A}}, Atom{"S", Schema{A, B}},
+           Atom{"T", Schema{B}}});
+  EXPECT_FALSE(IsTractableMixed(q, {false, true, false}));
+}
+
+TEST(MixedEngineTest, Example414MaintenanceMatchesOracle) {
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, D}}, Atom{"S", Schema{A, B}},
+           Atom{"T", Schema{B, C}}});
+  auto e = MixedStaticDynamicEngine<IntRing>::Make(q, {false, false, true});
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+
+  Relation<IntRing> r(Schema{A, D}), s(Schema{A, B}), t(Schema{B, C});
+  Rng rng(31);
+  // Static T preloaded.
+  for (int i = 0; i < 60; ++i) {
+    Tuple tt{rng.UniformInt(0, 6), rng.UniformInt(0, 6)};
+    e->Load(2, tt, 1);
+    t.Apply(tt, 1);
+  }
+  e->Seal();
+  EXPECT_FALSE(e->UpdateDynamic(2, Tuple{0, 0}, 1).ok());
+
+  std::vector<std::pair<size_t, Tuple>> live;
+  for (int step = 0; step < 1200; ++step) {
+    size_t atom;
+    Tuple tt;
+    int64_t m;
+    if (!live.empty() && rng.Chance(0.3)) {
+      size_t i = rng.Uniform(live.size());
+      atom = live[i].first;
+      tt = live[i].second;
+      m = -1;
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      atom = rng.Uniform(2);  // R or S
+      tt = Tuple{rng.UniformInt(0, 6), rng.UniformInt(0, 6)};
+      m = 1;
+      live.emplace_back(atom, tt);
+    }
+    ASSERT_TRUE(e->UpdateDynamic(atom, tt, m).ok());
+    (atom == 0 ? r : s).Apply(tt, m);
+    if (step % 149 != 0) continue;
+    auto oracle = EvaluateQuery<IntRing>(q, {&r, &s, &t});
+    size_t n = 0;
+    Schema out = e->tree().OutputSchema();
+    auto pos = ProjectionPositions(out, q.free());
+    for (ViewTreeEnumerator<IntRing> it(e->tree()); it.Valid(); it.Next()) {
+      ASSERT_EQ(oracle.Payload(ProjectTuple(it.tuple(), pos)), it.payload());
+      ++n;
+    }
+    ASSERT_EQ(n, oracle.size()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace incr

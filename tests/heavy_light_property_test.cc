@@ -1,0 +1,101 @@
+// Standalone heavy/light partition property suite (DESIGN.md invariant 7),
+// independent of the triangle counter: random streams with owner-driven
+// migrations, against a flat oracle.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "incr/ivme/heavy_light.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+struct HlParams {
+  uint64_t seed;
+  int64_t theta;
+  double skew;
+  int steps;
+};
+
+class HeavyLightPropertyTest : public ::testing::TestWithParam<HlParams> {};
+
+TEST_P(HeavyLightPropertyTest, PartitionMatchesOracleWithInvariants) {
+  const HlParams p = GetParam();
+  HeavyLightRelation hl(p.theta);
+  std::map<Tuple, int64_t> oracle;
+  Rng rng(p.seed);
+  ZipfSampler zipf(40, p.skew);
+  std::vector<Tuple> live;
+  for (int step = 0; step < p.steps; ++step) {
+    if (!live.empty() && rng.Chance(0.4)) {
+      size_t i = rng.Uniform(live.size());
+      Tuple t = live[i];
+      live[i] = live.back();
+      live.pop_back();
+      hl.Apply(t[0], t[1], -1);
+      if (--oracle[t] == 0) oracle.erase(t);
+      hl.ShouldDemote(t[0]) ? hl.Migrate(t[0]) : void();
+    } else {
+      Value key = static_cast<Value>(zipf.Sample(rng));
+      Value other = rng.UniformInt(0, 200);
+      hl.Apply(key, other, 1);
+      ++oracle[Tuple{key, other}];
+      live.push_back(Tuple{key, other});
+      if (hl.ShouldPromote(key)) hl.Migrate(key);
+    }
+    if (step % 97 != 0) continue;
+    ASSERT_TRUE(hl.InvariantsHold()) << "step " << step;
+    // Contents: union of parts == oracle, parts disjoint by key.
+    ASSERT_EQ(hl.size(), oracle.size());
+    for (const auto& [t, m] : oracle) {
+      ASSERT_EQ(hl.Payload(t[0], t[1]), m);
+      // The tuple lives in exactly the part PartOf says.
+      auto part = hl.PartOf(t[0]);
+      auto other_part = part == HeavyLightRelation::kLight
+                            ? HeavyLightRelation::kHeavy
+                            : HeavyLightRelation::kLight;
+      ASSERT_EQ(hl.part(part).Payload(t), m);
+      ASSERT_EQ(hl.part(other_part).Payload(t), 0);
+    }
+    // Degrees match distinct-tuple counts per key.
+    std::map<Value, int64_t> degrees;
+    for (const auto& [t, m] : oracle) ++degrees[t[0]];
+    for (const auto& [k, d] : degrees) ASSERT_EQ(hl.Degree(k), d);
+  }
+  // Drain everything; the structure must end empty and demotions clean.
+  for (const Tuple& t : live) {
+    hl.Apply(t[0], t[1], -1);
+    if (hl.ShouldDemote(t[0])) hl.Migrate(t[0]);
+  }
+  EXPECT_EQ(hl.size(), 0u);
+  EXPECT_TRUE(hl.InvariantsHold());
+  EXPECT_EQ(hl.heavy_keys().size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, HeavyLightPropertyTest,
+    ::testing::Values(HlParams{1, 1, 0.0, 3000},   // minimal threshold
+                      HlParams{2, 4, 1.2, 3000},   // skewed, small theta
+                      HlParams{3, 16, 1.2, 3000},  // larger theta
+                      HlParams{4, 4, 0.0, 3000},   // uniform
+                      HlParams{5, 64, 2.0, 3000}   // extreme skew
+                      ));
+
+TEST(HeavyLightEdgeTest, ZeroDeltaIsNoop) {
+  HeavyLightRelation hl(4);
+  hl.Apply(1, 2, 0);
+  EXPECT_EQ(hl.size(), 0u);
+  EXPECT_EQ(hl.Degree(1), 0);
+}
+
+TEST(HeavyLightEdgeTest, MultiplicityChangesDoNotChangeDegree) {
+  HeavyLightRelation hl(2);
+  for (int i = 0; i < 10; ++i) hl.Apply(5, 7, 1);
+  EXPECT_EQ(hl.Degree(5), 1);  // one distinct tuple
+  EXPECT_FALSE(hl.ShouldPromote(5));
+  EXPECT_EQ(hl.Payload(5, 7), 10);
+}
+
+}  // namespace
+}  // namespace incr

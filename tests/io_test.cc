@@ -1,0 +1,82 @@
+// Relation/database serialization round-trip tests.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "incr/data/io.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+TEST(IoTest, RelationRoundTrip) {
+  Relation<IntRing> r(Schema{0, 1});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    r.Apply(Tuple{rng.UniformInt(0, 50), rng.UniformInt(0, 50)},
+            rng.UniformInt(-3, 3));
+  }
+  std::ostringstream out;
+  WriteRelation(out, "R", r);
+  Relation<IntRing> back(Schema{0, 1});
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadRelation(in, "R", &back).ok());
+  ASSERT_EQ(back.size(), r.size());
+  for (const auto& e : r) EXPECT_EQ(back.Payload(e.key), e.value);
+}
+
+TEST(IoTest, DatabaseRoundTripWithCommentsAndBlanks) {
+  Database<IntRing> db;
+  RelId rid = db.AddRelation("R", Schema{0, 1});
+  RelId sid = db.AddRelation("S", Schema{2});
+  db.relation(rid).Apply(Tuple{1, 2}, 3);
+  db.relation(rid).Apply(Tuple{4, 5}, -1);
+  db.relation(sid).Apply(Tuple{9}, 7);
+
+  std::ostringstream out;
+  out << "# snapshot\n\n";
+  WriteDatabase(out, db);
+
+  Database<IntRing> back;
+  back.AddRelation("R", Schema{0, 1});
+  back.AddRelation("S", Schema{2});
+  std::istringstream in(out.str());
+  ASSERT_TRUE(ReadDatabase(in, &back).ok());
+  EXPECT_EQ(back.Find("R")->Payload(Tuple{1, 2}), 3);
+  EXPECT_EQ(back.Find("R")->Payload(Tuple{4, 5}), -1);
+  EXPECT_EQ(back.Find("S")->Payload(Tuple{9}), 7);
+  EXPECT_EQ(back.TotalSize(), db.TotalSize());
+}
+
+TEST(IoTest, Errors) {
+  Relation<IntRing> r(Schema{0, 1});
+  {
+    std::istringstream in("");
+    EXPECT_FALSE(ReadRelation(in, "R", &r).ok());
+  }
+  {
+    std::istringstream in("relation S 2\nend\n");
+    EXPECT_FALSE(ReadRelation(in, "R", &r).ok());  // wrong name
+  }
+  {
+    std::istringstream in("relation R 3\nend\n");
+    EXPECT_FALSE(ReadRelation(in, "R", &r).ok());  // arity mismatch
+  }
+  {
+    std::istringstream in("relation R 2\n1 2 3\n");  // missing end
+    EXPECT_FALSE(ReadRelation(in, "R", &r).ok());
+  }
+  {
+    std::istringstream in("relation R 2\n1 nope 3\nend\n");
+    EXPECT_FALSE(ReadRelation(in, "R", &r).ok());  // malformed row
+  }
+  {
+    Database<IntRing> db;
+    db.AddRelation("R", Schema{0});
+    std::istringstream in("relation X 1\nend\n");
+    EXPECT_FALSE(ReadDatabase(in, &db).ok());  // unknown relation
+  }
+}
+
+}  // namespace
+}  // namespace incr

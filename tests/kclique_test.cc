@@ -1,0 +1,75 @@
+// k-clique counter tests (§3.3's [10] pointer): hand-checked graphs and
+// randomized streams against the from-scratch oracle, k in {3, 4}.
+#include <gtest/gtest.h>
+
+#include "incr/ivme/kclique.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+TEST(KCliqueTest, TriangleBasics) {
+  KCliqueCounter c(3);
+  EXPECT_TRUE(c.SetEdge(1, 2, true));
+  EXPECT_TRUE(c.SetEdge(2, 3, true));
+  EXPECT_EQ(c.Count(), 0);
+  EXPECT_TRUE(c.SetEdge(3, 1, true));
+  EXPECT_EQ(c.Count(), 1);
+  // Idempotence and self-loops.
+  EXPECT_FALSE(c.SetEdge(1, 2, true));
+  EXPECT_FALSE(c.SetEdge(5, 5, true));
+  EXPECT_EQ(c.Count(), 1);
+  // Undirected: either orientation deletes.
+  EXPECT_TRUE(c.SetEdge(2, 1, false));
+  EXPECT_EQ(c.Count(), 0);
+  EXPECT_EQ(c.NumEdges(), 2u);
+}
+
+TEST(KCliqueTest, K4OnCompleteGraphs) {
+  // K_n has C(n,4) 4-cliques.
+  KCliqueCounter c(4);
+  for (Value u = 0; u < 7; ++u) {
+    for (Value v = u + 1; v < 7; ++v) c.SetEdge(u, v, true);
+  }
+  EXPECT_EQ(c.Count(), 35);  // C(7,4)
+  // Remove one edge: kills the C(5,2) = 10 cliques containing it.
+  c.SetEdge(0, 1, false);
+  EXPECT_EQ(c.Count(), 25);
+  EXPECT_EQ(c.Count(), c.CountNaive());
+}
+
+TEST(KCliqueTest, TriangleOnCompleteGraph) {
+  KCliqueCounter c(3);
+  for (Value u = 0; u < 8; ++u) {
+    for (Value v = u + 1; v < 8; ++v) c.SetEdge(u, v, true);
+  }
+  EXPECT_EQ(c.Count(), 56);  // C(8,3)
+}
+
+class KCliquePropertyTest
+    : public ::testing::TestWithParam<std::pair<int, uint64_t>> {};
+
+TEST_P(KCliquePropertyTest, MatchesNaiveUnderChurn) {
+  auto [k, seed] = GetParam();
+  KCliqueCounter c(k);
+  Rng rng(seed);
+  const Value kV = 14;  // dense little graph: plenty of cliques
+  for (int step = 0; step < 1200; ++step) {
+    Value u = rng.UniformInt(0, kV - 1);
+    Value v = rng.UniformInt(0, kV - 1);
+    c.SetEdge(u, v, rng.Chance(0.55));
+    if (step % 101 == 0) {
+      ASSERT_EQ(c.Count(), c.CountNaive()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(c.Count(), c.CountNaive());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KCliquePropertyTest,
+    ::testing::Values(std::make_pair(3, 1ull), std::make_pair(3, 2ull),
+                      std::make_pair(4, 1ull), std::make_pair(4, 2ull),
+                      std::make_pair(4, 3ull)));
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,85 @@
+// Odds and ends: rendering helpers, status factories, OuMv instance edge
+// cases, bounded enumeration, version string.
+#include <gtest/gtest.h>
+
+#include "incr/ivme/eps_tradeoff.h"
+#include "incr/lowerbound/oumv.h"
+#include "incr/query/variable_order.h"
+#include "incr/ring/provenance.h"
+#include "incr/util/status.h"
+#include "incr/version.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1 };
+
+TEST(MiscTest, RenderingHelpers) {
+  VarRegistry vars;
+  Var a = vars.GetOrCreate("A");
+  Var b = vars.GetOrCreate("B");
+  EXPECT_EQ(SchemaToString(Schema{a, b}, vars), "(A, B)");
+  EXPECT_EQ(vars.Name(99), "?99");
+  EXPECT_EQ(TupleToString(Tuple{1, -2, 3}), "(1, -2, 3)");
+  EXPECT_EQ(TupleToString(Tuple{}), "()");
+
+  Query q("Q", Schema{a}, {Atom{"R", Schema{a, b}}});
+  EXPECT_EQ(q.ToString(vars), "Q(A) = R(A, B)");
+  auto vo = VariableOrder::Canonical(q);
+  ASSERT_TRUE(vo.ok());
+  std::string rendered = vo->ToString(vars);
+  EXPECT_NE(rendered.find("A*"), std::string::npos);  // free marker
+}
+
+TEST(MiscTest, StatusFactories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Internal("boom").ToString(), "Internal: boom");
+}
+
+TEST(MiscTest, VersionIsWellFormed) {
+  std::string v = Version();
+  EXPECT_EQ(v, INCR_VERSION_STRING);
+  EXPECT_NE(v.find('.'), std::string::npos);
+}
+
+TEST(MiscTest, OuMvDegenerateInstances) {
+  // n=1 and extreme densities.
+  OuMvInstance tiny(1, 1.0, 3);
+  auto out = SolveOuMvDirect(tiny);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0]);  // density 1: everything set
+  DeltaTriangleCounter c;
+  EXPECT_EQ(SolveOuMvViaIvm(tiny, &c), out);
+
+  OuMvInstance empty(5, 0.0, 3);
+  auto out0 = SolveOuMvDirect(empty);
+  for (bool b : out0) EXPECT_FALSE(b);
+  IvmEpsTriangleCounter e(0.5);
+  EXPECT_EQ(SolveOuMvViaIvm(empty, &e), out0);
+}
+
+TEST(MiscTest, EpsEnumerateLimitStopsEarly) {
+  EpsTradeoffEngine e(0.5);
+  for (Value a = 0; a < 100; ++a) e.UpdateR(a, a % 10, 1);
+  for (Value b = 0; b < 10; ++b) e.UpdateS(b, 1);
+  size_t limited = e.EnumerateLimit(7, nullptr);
+  EXPECT_EQ(limited, 7u);
+  EXPECT_EQ(e.Enumerate(nullptr), 100u);
+}
+
+TEST(MiscTest, PolynomialEvalTreatsMissingAsOne) {
+  // Multiplicity semantics: unassigned annotations count as one copy.
+  Polynomial p = Polynomial::Var(0) * Polynomial::Var(1) +
+                 Polynomial::Constant(2);
+  EXPECT_EQ(p.Eval({{0, 5}}), 5 + 2);  // x1 defaults to 1
+  EXPECT_EQ(p.Eval({}), 1 + 2);
+}
+
+}  // namespace
+}  // namespace incr

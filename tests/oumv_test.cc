@@ -1,0 +1,79 @@
+// OuMv tests (paper §3.4, Thm. 3.4): the reduction via any triangle
+// maintainer gives exactly the direct solver's answers (DESIGN.md
+// invariant 8).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "incr/lowerbound/oumv.h"
+
+namespace incr {
+namespace {
+
+TEST(OuMvTest, InstanceBitsAreDeterministic) {
+  OuMvInstance a(10, 0.3, 5);
+  OuMvInstance b(10, 0.3, 5);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(a.Matrix(i, j), b.Matrix(i, j));
+      EXPECT_EQ(a.U(i, j), b.U(i, j));
+      EXPECT_EQ(a.V(i, j), b.V(i, j));
+    }
+  }
+}
+
+TEST(OuMvTest, DirectSolverHandcheck) {
+  // Paper's worked example: u = (0,1,0), M = [[0,1,0],[1,0,0],[0,0,1]],
+  // v = (1,0,0): u^T M v = 1. Build via a crafted instance is awkward, so
+  // verify the direct solver against brute force on random instances.
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    OuMvInstance inst(17, 0.2, seed);
+    auto direct = SolveOuMvDirect(inst);
+    for (size_t r = 0; r < inst.n(); ++r) {
+      bool expect = false;
+      for (size_t i = 0; i < inst.n() && !expect; ++i) {
+        for (size_t j = 0; j < inst.n() && !expect; ++j) {
+          expect = inst.U(r, i) && inst.Matrix(i, j) && inst.V(r, j);
+        }
+      }
+      ASSERT_EQ(direct[r], expect) << "seed " << seed << " round " << r;
+    }
+  }
+}
+
+class OuMvReductionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OuMvReductionTest, ReductionMatchesDirectAllMaintainers) {
+  double density = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    OuMvInstance inst(24, density, seed);
+    auto direct = SolveOuMvDirect(inst);
+
+    DeltaTriangleCounter delta;
+    EXPECT_EQ(SolveOuMvViaIvm(inst, &delta), direct);
+
+    MaterializedTriangleCounter mat;
+    EXPECT_EQ(SolveOuMvViaIvm(inst, &mat), direct);
+
+    IvmEpsTriangleCounter eps(0.5);
+    EXPECT_EQ(SolveOuMvViaIvm(inst, &eps), direct);
+    EXPECT_TRUE(eps.InvariantsHold());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, OuMvReductionTest,
+                         ::testing::Values(0.05, 0.3, 0.7));
+
+TEST(OuMvTest, ReductionLeavesCounterReusable) {
+  // After a full OuMv run the triangle database holds only S(=M); the
+  // count must equal 0 because R and T were emptied in the last round's
+  // rewrite... no: the last round's vectors are still loaded. Run a tiny
+  // instance and check the final state is consistent with the last round.
+  OuMvInstance inst(6, 0.5, 9);
+  IvmEpsTriangleCounter eps(0.5);
+  auto out = SolveOuMvViaIvm(inst, &eps);
+  EXPECT_EQ(eps.Detect(), out.back());
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,86 @@
+// Query text parser tests.
+#include <gtest/gtest.h>
+
+#include "incr/query/parser.h"
+#include "incr/query/properties.h"
+
+namespace incr {
+namespace {
+
+TEST(ParserTest, BasicQuery) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A, B, C) = R(A, B), S(B, C)", &vars);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->name(), "Q");
+  EXPECT_EQ(q->free().size(), 3u);
+  ASSERT_EQ(q->atoms().size(), 2u);
+  EXPECT_EQ(q->atoms()[0].relation, "R");
+  EXPECT_EQ(q->atoms()[1].relation, "S");
+  // Shared variable B is the same id in both atoms.
+  EXPECT_EQ(q->atoms()[0].schema[1], q->atoms()[1].schema[0]);
+}
+
+TEST(ParserTest, EmptyHeadIsAggregate) {
+  VarRegistry vars;
+  auto q = ParseQuery("Count() = R(A, B)", &vars);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->free().empty());
+  EXPECT_EQ(q->AllVars().size(), 2u);
+}
+
+TEST(ParserTest, StarSeparatorAndWhitespace) {
+  VarRegistry vars;
+  auto q = ParseQuery("  Q ( A )=R( A , B ) * S(B)  ", &vars);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_TRUE(IsHierarchical(*q));
+}
+
+TEST(ParserTest, SharedRegistryAcrossQueries) {
+  VarRegistry vars;
+  auto q1 = ParseQuery("Q1(A) = R(A, B)", &vars);
+  auto q2 = ParseQuery("Q2(B) = S(B)", &vars);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(q1->atoms()[0].schema[1], q2->atoms()[0].schema[0]);  // same B
+}
+
+TEST(ParserTest, Errors) {
+  VarRegistry vars;
+  EXPECT_FALSE(ParseQuery("", &vars).ok());
+  EXPECT_FALSE(ParseQuery("Q(A)", &vars).ok());            // missing body
+  EXPECT_FALSE(ParseQuery("Q(A) = ", &vars).ok());         // empty body
+  EXPECT_FALSE(ParseQuery("Q(A) = R", &vars).ok());        // missing parens
+  EXPECT_FALSE(ParseQuery("Q(A) = R()", &vars).ok());      // nullary atom
+  EXPECT_FALSE(ParseQuery("Q(A,) = R(A)", &vars).ok());    // dangling comma
+  EXPECT_FALSE(ParseQuery("Q(A) = R(A) S(A)", &vars).ok());  // no separator
+  EXPECT_FALSE(ParseQuery("Q(A|B) = R(A,B)", &vars).ok());  // CQAP head
+}
+
+TEST(ParserTest, CqapHead) {
+  VarRegistry vars;
+  auto q = ParseCqap("Q(A | B) = S(A, B), T(B)", &vars);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->output.size(), 1u);
+  EXPECT_EQ(q->input.size(), 1u);
+  EXPECT_EQ(q->query.free().size(), 2u);
+  EXPECT_TRUE(IsTractableCqap(*q));
+}
+
+TEST(ParserTest, CqapAllInput) {
+  VarRegistry vars;
+  auto q = ParseCqap("Tri(| A, B, C) = E(A,B), E(B,C), E(C,A)", &vars);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->output.empty());
+  EXPECT_EQ(q->input.size(), 3u);
+}
+
+TEST(ParserTest, CqapWithoutPipeHasEmptyInput) {
+  VarRegistry vars;
+  auto q = ParseCqap("Q(A, B) = R(A, B)", &vars);
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->input.empty());
+  EXPECT_EQ(q->output.size(), 2u);
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,147 @@
+// White-box tests of the ViewTreePlan compiler: exact program shapes for
+// known queries — every probe of a q-hierarchical canonical plan is fully
+// keyed, group scans appear exactly where the theory predicts, index
+// requirements are deduplicated.
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree_plan.h"
+#include "incr/query/properties.h"
+#include "incr/workload/retailer.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, X = 3, Y = 4, Z = 5 };
+
+TEST(PlanTest, Fig3Shapes) {
+  // Q(Y,X,Z) = R(Y,X) * S(Y,Z): root Y with children X (atom R) and Z
+  // (atom S).
+  Query q("Q", Schema{Y, X, Z},
+          {Atom{"R", Schema{Y, X}}, Atom{"S", Schema{Y, Z}}});
+  auto vo = VariableOrder::Canonical(q);
+  ASSERT_TRUE(vo.ok());
+  auto plan = ViewTreePlan::Make(q, *vo);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->nodes().size(), 3u);
+  ASSERT_EQ(plan->roots().size(), 1u);
+  const PlanNode& root = plan->nodes()[static_cast<size_t>(plan->roots()[0])];
+  EXPECT_EQ(root.var, Y);
+  EXPECT_TRUE(root.atoms.empty());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_TRUE(root.key.empty());
+  EXPECT_EQ(root.w_schema, (Schema{Y}));
+  // Each child program at the root joins the sibling child's M with a
+  // fully-keyed probe.
+  for (const DeltaProgram& p : root.child_programs) {
+    ASSERT_EQ(p.steps.size(), 1u);
+    EXPECT_TRUE(p.steps[0].full_key);
+    EXPECT_EQ(p.steps[0].factor.kind, FactorRef::kChild);
+    EXPECT_TRUE(p.constant_time);
+  }
+  // Leaf nodes: one atom, no steps.
+  for (int c : root.children) {
+    const PlanNode& leaf = plan->nodes()[static_cast<size_t>(c)];
+    ASSERT_EQ(leaf.atoms.size(), 1u);
+    ASSERT_EQ(leaf.atom_programs.size(), 1u);
+    EXPECT_TRUE(leaf.atom_programs[0].steps.empty());
+    EXPECT_EQ(leaf.key, (Schema{Y}));
+  }
+  EXPECT_TRUE(plan->AllProgramsConstantTime());
+}
+
+TEST(PlanTest, GroupScanAppearsForNonQHierarchicalOrder) {
+  // Q(A) = R(A,B)*S(B) with eager order A->B: the dS program at node B
+  // must scan R's group by B (introducing A).
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  auto plan = ViewTreePlan::Make(q, *vo);
+  ASSERT_TRUE(plan.ok());
+  const PlanNode& node_b = plan->nodes()[1];
+  EXPECT_EQ(node_b.var, B);
+  ASSERT_EQ(node_b.atoms.size(), 2u);  // R and S anchored at B
+  // Find S's program: its only step probes R partially (new var A).
+  bool found_scan = false;
+  for (size_t k = 0; k < node_b.atoms.size(); ++k) {
+    if (q.atoms()[node_b.atoms[k]].relation != "S") continue;
+    const DeltaProgram& p = node_b.atom_programs[k];
+    ASSERT_EQ(p.steps.size(), 1u);
+    EXPECT_FALSE(p.steps[0].full_key);
+    EXPECT_FALSE(p.constant_time);
+    EXPECT_EQ(p.steps[0].new_cols.size(), 1u);
+    found_scan = true;
+  }
+  EXPECT_TRUE(found_scan);
+  EXPECT_FALSE(plan->AllProgramsConstantTime());
+  EXPECT_TRUE(plan->ProgramsConstantTimeFor({0}));   // dR is O(1)
+  EXPECT_FALSE(plan->ProgramsConstantTimeFor({1}));  // dS is not
+}
+
+TEST(PlanTest, IndexRequirementsAreDeduplicated) {
+  // Two delta sources needing the same index on the same storage share it.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+           Atom{"T", Schema{B}}});
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  auto plan = ViewTreePlan::Make(q, *vo);
+  ASSERT_TRUE(plan.ok());
+  for (const IndexRequirements& reqs : plan->atom_indexes()) {
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      for (size_t j = i + 1; j < reqs.size(); ++j) {
+        EXPECT_FALSE(reqs[i] == reqs[j]);
+      }
+    }
+  }
+}
+
+TEST(PlanTest, RetailerOrderShapes) {
+  RetailerWorkload wl(10, 3, 10, 1);
+  auto plan = ViewTreePlan::Make(wl.query(), wl.Order());
+  ASSERT_TRUE(plan.ok());
+  // Inventory anchored at ksn (locn -> date -> ksn path).
+  int ksn_node = -1;
+  for (size_t i = 0; i < plan->nodes().size(); ++i) {
+    if (plan->nodes()[i].var == RetailerWorkload::kKsn) {
+      ksn_node = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(ksn_node, 0);
+  EXPECT_EQ(plan->atom_node()[RetailerWorkload::kInventory], ksn_node);
+  const PlanNode& ksn = plan->nodes()[static_cast<size_t>(ksn_node)];
+  EXPECT_EQ(ksn.key, (Schema{RetailerWorkload::kLocn,
+                             RetailerWorkload::kDate}));
+  // The Inventory program probes Item fully keyed.
+  for (size_t k = 0; k < ksn.atoms.size(); ++k) {
+    if (ksn.atoms[k] != RetailerWorkload::kInventory) continue;
+    for (const JoinStep& s : ksn.atom_programs[k].steps) {
+      EXPECT_TRUE(s.full_key);
+    }
+    EXPECT_TRUE(ksn.atom_programs[k].constant_time);
+  }
+}
+
+TEST(PlanTest, RepeatedVariableInAtomRejected) {
+  // R(A,A) would need an equality check the probes do not emit.
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A, A}}});
+  auto vo = VariableOrder::FromPath(q, {A});
+  ASSERT_TRUE(vo.ok());
+  EXPECT_FALSE(ViewTreePlan::Make(q, *vo).ok());
+}
+
+TEST(PlanTest, EnumNodesArePreorderFreePrefix) {
+  Query q("Q", Schema{Y, X},
+          {Atom{"R", Schema{Y, X}}, Atom{"S", Schema{Y, Z}}});
+  auto vo = VariableOrder::Canonical(q);
+  ASSERT_TRUE(vo.ok());
+  auto plan = ViewTreePlan::Make(q, *vo);
+  ASSERT_TRUE(plan.ok());
+  // Free: Y (root), X; bound: Z. Enum nodes = [Y's node, X's node].
+  ASSERT_EQ(plan->enum_nodes().size(), 2u);
+  EXPECT_EQ(plan->nodes()[static_cast<size_t>(plan->enum_nodes()[0])].var, Y);
+  EXPECT_EQ(plan->nodes()[static_cast<size_t>(plan->enum_nodes()[1])].var, X);
+  EXPECT_TRUE(plan->CanEnumerate().ok());
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,180 @@
+// Ring axiom property tests over the whole ring zoo (DESIGN.md invariant 1),
+// plus behavior tests for provenance polynomials and the covariance ring.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "incr/ring/bool_semiring.h"
+#include "incr/ring/covar_ring.h"
+#include "incr/ring/int_ring.h"
+#include "incr/ring/minplus_semiring.h"
+#include "incr/ring/product_ring.h"
+#include "incr/ring/provenance.h"
+#include "incr/ring/ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+static_assert(RingType<IntRing>);
+static_assert(RingType<RealRing>);
+static_assert(RingType<BoolSemiring>);
+static_assert(RingType<MinPlusSemiring>);
+static_assert(RingType<ProvenanceRing>);
+static_assert(RingType<CovarRing<2>>);
+static_assert(RingType<ProductRing<IntRing, RealRing>>);
+static_assert(RingWithNegation<IntRing>);
+static_assert(RingWithNegation<ProvenanceRing>);
+static_assert(!RingWithNegation<BoolSemiring>);
+static_assert(!RingWithNegation<MinPlusSemiring>);
+
+// Generic axiom checker: takes a generator of random ring values.
+template <typename R, typename Gen>
+void CheckSemiringAxioms(Gen gen, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto a = gen(), b = gen(), c = gen();
+    // Additive commutative monoid.
+    EXPECT_TRUE(R::Add(a, b) == R::Add(b, a));
+    EXPECT_TRUE(R::Add(R::Add(a, b), c) == R::Add(a, R::Add(b, c)));
+    EXPECT_TRUE(R::Add(a, R::Zero()) == a);
+    // Multiplicative monoid.
+    EXPECT_TRUE(R::Mul(R::Mul(a, b), c) == R::Mul(a, R::Mul(b, c)));
+    EXPECT_TRUE(R::Mul(a, R::One()) == a);
+    EXPECT_TRUE(R::Mul(R::One(), a) == a);
+    // Distributivity (both sides; Mul need not be commutative in general).
+    EXPECT_TRUE(R::Mul(a, R::Add(b, c)) == R::Add(R::Mul(a, b), R::Mul(a, c)));
+    EXPECT_TRUE(R::Mul(R::Add(a, b), c) == R::Add(R::Mul(a, c), R::Mul(b, c)));
+    // Zero annihilates.
+    EXPECT_TRUE(R::IsZero(R::Mul(a, R::Zero())));
+    EXPECT_TRUE(R::IsZero(R::Mul(R::Zero(), a)));
+    // IsZero is consistent with Zero().
+    EXPECT_TRUE(R::IsZero(R::Zero()));
+  }
+}
+
+template <typename R, typename Gen>
+void CheckNegation(Gen gen, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    auto a = gen();
+    EXPECT_TRUE(R::IsZero(R::Add(a, R::Neg(a))));
+  }
+}
+
+TEST(RingAxiomsTest, IntRing) {
+  Rng rng(1);
+  auto gen = [&] { return rng.UniformInt(-50, 50); };
+  CheckSemiringAxioms<IntRing>(gen, 200);
+  CheckNegation<IntRing>(gen, 200);
+}
+
+TEST(RingAxiomsTest, BoolSemiring) {
+  Rng rng(2);
+  auto gen = [&] { return rng.Chance(0.5); };
+  CheckSemiringAxioms<BoolSemiring>(gen, 100);
+}
+
+TEST(RingAxiomsTest, MinPlusSemiring) {
+  Rng rng(3);
+  auto gen = [&]() -> int64_t {
+    if (rng.Chance(0.1)) return MinPlusSemiring::Zero();
+    return rng.UniformInt(-1000, 1000);
+  };
+  CheckSemiringAxioms<MinPlusSemiring>(gen, 200);
+}
+
+TEST(RingAxiomsTest, ProvenanceRing) {
+  Rng rng(4);
+  auto gen = [&] {
+    Polynomial p = Polynomial::Constant(rng.UniformInt(-3, 3));
+    for (int t = 0; t < 2; ++t) {
+      Polynomial term = Polynomial::Constant(rng.UniformInt(-2, 2));
+      term = term * Polynomial::Var(static_cast<uint32_t>(rng.Uniform(4)));
+      p = p + term;
+    }
+    return p;
+  };
+  CheckSemiringAxioms<ProvenanceRing>(gen, 50);
+  CheckNegation<ProvenanceRing>(gen, 50);
+}
+
+TEST(RingAxiomsTest, CovarRing) {
+  Rng rng(5);
+  auto gen = [&] {
+    CovarValue<2> v;
+    v.count = rng.UniformInt(-3, 3);
+    for (auto& s : v.sum) s = static_cast<double>(rng.UniformInt(-4, 4));
+    // Symmetric product matrix, as produced by lifting/multiplication.
+    double q00 = static_cast<double>(rng.UniformInt(-4, 4));
+    double q01 = static_cast<double>(rng.UniformInt(-4, 4));
+    double q11 = static_cast<double>(rng.UniformInt(-4, 4));
+    v.prod = {q00, q01, q01, q11};
+    return v;
+  };
+  CheckSemiringAxioms<CovarRing<2>>(gen, 100);
+  CheckNegation<CovarRing<2>>(gen, 100);
+}
+
+TEST(RingAxiomsTest, ProductRing) {
+  using PR = ProductRing<IntRing, BoolSemiring>;
+  static_assert(!PR::kHasNegation);
+  using PR2 = ProductRing<IntRing, RealRing>;
+  static_assert(PR2::kHasNegation);
+  Rng rng(6);
+  auto gen = [&]() -> PR2::Value {
+    return {rng.UniformInt(-20, 20),
+            static_cast<double>(rng.UniformInt(-20, 20))};
+  };
+  CheckSemiringAxioms<PR2>(gen, 100);
+  CheckNegation<PR2>(gen, 100);
+}
+
+TEST(ProvenanceTest, PolynomialAlgebra) {
+  // (x0 + x1) * (x0 + 2) = x0^2 + x0*x1 + 2*x0 + 2*x1
+  Polynomial p = Polynomial::Var(0) + Polynomial::Var(1);
+  Polynomial q = Polynomial::Var(0) + Polynomial::Constant(2);
+  Polynomial prod = p * q;
+  EXPECT_EQ(prod.NumTerms(), 4u);
+  std::map<uint32_t, int64_t> assign{{0, 3}, {1, 5}};
+  // (3+5)*(3+2) = 40
+  EXPECT_EQ(prod.Eval(assign), 40);
+}
+
+TEST(ProvenanceTest, CancellationRemovesTerms) {
+  Polynomial p = Polynomial::Var(0);
+  Polynomial sum = p + (-p);
+  EXPECT_TRUE(sum.IsZero());
+  EXPECT_EQ(sum.NumTerms(), 0u);
+}
+
+TEST(ProvenanceTest, ToStringIsReadable) {
+  Polynomial p = Polynomial::Constant(2) * Polynomial::Var(1) +
+                 Polynomial::Var(3) * Polynomial::Var(3);
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("2*x1"), std::string::npos);
+  EXPECT_NE(s.find("x3^2"), std::string::npos);
+}
+
+TEST(CovarRingTest, LiftAndMultiplyComputesStatistics) {
+  // Two "relations" each contributing one feature; the product payload must
+  // hold count, sums, and cross products of the joined tuple.
+  using R = CovarRing<2>;
+  auto a = R::Lift(0, 3.0);  // feature 0 value 3
+  auto b = R::Lift(1, 4.0);  // feature 1 value 4
+  auto ab = R::Mul(a, b);
+  EXPECT_EQ(ab.count, 1);
+  EXPECT_DOUBLE_EQ(ab.sum[0], 3.0);
+  EXPECT_DOUBLE_EQ(ab.sum[1], 4.0);
+  EXPECT_DOUBLE_EQ(ab.prod[0 * 2 + 0], 9.0);
+  EXPECT_DOUBLE_EQ(ab.prod[0 * 2 + 1], 12.0);
+  EXPECT_DOUBLE_EQ(ab.prod[1 * 2 + 0], 12.0);
+  EXPECT_DOUBLE_EQ(ab.prod[1 * 2 + 1], 16.0);
+
+  // Summing two joined tuples accumulates.
+  auto ab2 = R::Add(ab, R::Mul(R::Lift(0, 1.0), R::Lift(1, 2.0)));
+  EXPECT_EQ(ab2.count, 2);
+  EXPECT_DOUBLE_EQ(ab2.sum[0], 4.0);
+  EXPECT_DOUBLE_EQ(ab2.prod[0 * 2 + 1], 14.0);
+}
+
+}  // namespace
+}  // namespace incr

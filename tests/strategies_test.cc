@@ -1,0 +1,121 @@
+// Fig. 4 strategy tests: all four strategies produce identical outputs
+// under interleaved updates and enumerations, on both a q-hierarchical
+// query and the retailer workload with its F-IVM order.
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "incr/engines/strategies.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+#include "incr/workload/retailer.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2 };
+
+using Output = std::map<Tuple, int64_t>;
+
+Output Collect(IvmStrategy<IntRing>& s) {
+  Output out;
+  size_t n = s.Enumerate([&](const Tuple& t, const int64_t& p) {
+    out[t] = p;
+  });
+  EXPECT_EQ(n, out.size());
+  return out;
+}
+
+TEST(StrategiesTest, AllFourAgreeOnQHierarchicalQuery) {
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto strategies = MakeAllStrategies<IntRing>(q);
+  ASSERT_EQ(strategies.size(), 4u);
+
+  Rng rng(17);
+  std::vector<std::pair<size_t, Tuple>> live;
+  for (int round = 0; round < 20; ++round) {
+    for (int step = 0; step < 50; ++step) {
+      size_t atom;
+      Tuple t;
+      int64_t m;
+      if (!live.empty() && rng.Chance(0.3)) {
+        size_t i = rng.Uniform(live.size());
+        atom = live[i].first;
+        t = live[i].second;
+        m = -1;
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        atom = rng.Uniform(2);
+        t = Tuple{rng.UniformInt(0, 10), rng.UniformInt(0, 10)};
+        m = 1;
+        live.emplace_back(atom, t);
+      }
+      for (auto& s : strategies) s->Update(atom, t, m);
+    }
+    Output ref = Collect(*strategies[0]);
+    for (size_t i = 1; i < strategies.size(); ++i) {
+      Output got = Collect(*strategies[i]);
+      ASSERT_EQ(got, ref) << strategies[i]->name() << " round " << round;
+    }
+  }
+}
+
+TEST(StrategiesTest, NamesAreDistinct) {
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A}}});
+  auto strategies = MakeAllStrategies<IntRing>(q);
+  std::map<std::string, int> names;
+  for (auto& s : strategies) names[s->name()]++;
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(StrategiesTest, RetailerWorkloadAllStrategiesAgree) {
+  RetailerWorkload wl(/*n_locations=*/20, /*n_dates=*/5, /*n_items=*/30,
+                      /*seed=*/3);
+  VariableOrder vo = wl.Order();
+  auto strategies = MakeAllStrategies<IntRing>(wl.query(), &vo);
+  // Preload dimensions through updates (they are part of the maintained
+  // database).
+  auto preload = [&](size_t atom, const std::vector<Tuple>& rows) {
+    for (const Tuple& t : rows) {
+      for (auto& s : strategies) s->Update(atom, t, 1);
+    }
+  };
+  preload(RetailerWorkload::kLocation, wl.locations());
+  preload(RetailerWorkload::kCensus, wl.censuses());
+  preload(RetailerWorkload::kItem, wl.items());
+  preload(RetailerWorkload::kWeather, wl.weathers());
+
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      Tuple t = wl.NextInventoryInsert();
+      for (auto& s : strategies) {
+        s->Update(RetailerWorkload::kInventory, t, 1);
+      }
+    }
+    Output ref = Collect(*strategies[0]);
+    EXPECT_GT(ref.size(), 0u);
+    for (size_t i = 1; i < strategies.size(); ++i) {
+      ASSERT_EQ(Collect(*strategies[i]), ref) << strategies[i]->name();
+    }
+  }
+}
+
+TEST(StrategiesTest, RetailerOrderIsConstantTimeForFactTable) {
+  RetailerWorkload wl(10, 3, 10, 1);
+  VariableOrder vo = wl.Order();
+  auto plan = ViewTreePlan::Make(wl.query(), vo);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->CanEnumerate().ok());
+  // Inventory, Location, Weather propagate in O(1); Item and Census need
+  // group scans (they are static dimension tables in the experiment).
+  EXPECT_TRUE(plan->ProgramsConstantTimeFor({RetailerWorkload::kInventory,
+                                             RetailerWorkload::kLocation,
+                                             RetailerWorkload::kWeather}));
+  EXPECT_FALSE(plan->ProgramsConstantTimeFor({RetailerWorkload::kItem}));
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,146 @@
+// Cross-engine differential stress: one shared random scenario drives
+// every triangle maintainer, the generic view tree, LFTJ, and the
+// k-clique counter side by side; all counts must agree at every
+// checkpoint. Catches integration drift that per-module suites can miss.
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree.h"
+#include "incr/engines/join.h"
+#include "incr/engines/leapfrog.h"
+#include "incr/ivme/kclique.h"
+#include "incr/ivme/triangle.h"
+#include "incr/query/properties.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+#include "incr/workload/graph.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2 };
+
+TEST(StressTest, TriangleCountSixWays) {
+  // The same update stream applied to: naive, delta, materialized,
+  // IVMe(0.3), IVMe(0.7), a generic view tree over a path order, and
+  // recomputation via LFTJ. Seven independent code paths, one number.
+  Query q("tri", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+           Atom{"T", Schema{C, A}}});
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  auto tree = ViewTree<IntRing>::Make(q, *std::move(vo));
+  ASSERT_TRUE(tree.ok());
+
+  NaiveTriangleCounter naive;
+  DeltaTriangleCounter delta;
+  MaterializedTriangleCounter mat;
+  IvmEpsTriangleCounter eps3(0.3);
+  IvmEpsTriangleCounter eps7(0.7);
+
+  GraphStream stream(/*n_vertices=*/60, /*s=*/1.1, /*window=*/900,
+                     /*seed=*/77);
+  for (int step = 1; step <= 6000; ++step) {
+    auto e = stream.Next();
+    auto rel = static_cast<TriangleRel>(step % 3);
+    naive.Update(rel, e.src, e.dst, e.delta);
+    delta.Update(rel, e.src, e.dst, e.delta);
+    mat.Update(rel, e.src, e.dst, e.delta);
+    eps3.Update(rel, e.src, e.dst, e.delta);
+    eps7.Update(rel, e.src, e.dst, e.delta);
+    size_t atom = static_cast<size_t>(rel);
+    tree->UpdateAtom(atom, Tuple{e.src, e.dst}, e.delta);
+
+    int64_t expect = delta.Count();
+    ASSERT_EQ(mat.Count(), expect) << step;
+    ASSERT_EQ(eps3.Count(), expect) << step;
+    ASSERT_EQ(eps7.Count(), expect) << step;
+    ASSERT_EQ(tree->Aggregate(), expect) << step;
+    if (step % 617 == 0) {
+      ASSERT_EQ(naive.Count(), expect) << step;
+      ASSERT_TRUE(eps3.InvariantsHold()) << step;
+      ASSERT_TRUE(eps7.InvariantsHold()) << step;
+      std::vector<const Relation<IntRing>*> rels;
+      for (size_t a = 0; a < 3; ++a) rels.push_back(&tree->AtomRelation(a));
+      ASSERT_EQ(LeapfrogCount(q, rels, {A, B, C}), expect) << step;
+    }
+  }
+}
+
+TEST(StressTest, UndirectedTriangleVsKClique) {
+  // For a simple undirected graph (no self-loops, 0/1 edges), the directed
+  // 3-cycle count over the symmetrized edge relation is 6x the undirected
+  // triangle count — tying the TriangleCounter family to KCliqueCounter.
+  KCliqueCounter cliques(3);
+  IvmEpsTriangleCounter cycles(0.5);
+  Rng rng(5);
+  DenseMap<Tuple, char, TupleHash, TupleEq> present;
+  for (int step = 0; step < 2500; ++step) {
+    Value u = rng.UniformInt(0, 25);
+    Value v = rng.UniformInt(0, 25);
+    if (u == v) continue;
+    Tuple key{std::min(u, v), std::max(u, v)};
+    bool want = rng.Chance(0.55);
+    bool has = present.Find(key) != nullptr;
+    if (want == has) continue;
+    int64_t d = want ? 1 : -1;
+    if (want) {
+      present.GetOrInsert(key, 1);
+    } else {
+      present.Erase(key);
+    }
+    cliques.SetEdge(u, v, want);
+    for (auto [x, y] : {std::pair{u, v}, std::pair{v, u}}) {
+      cycles.Update(TriangleRel::kR, x, y, d);
+      cycles.Update(TriangleRel::kS, x, y, d);
+      cycles.Update(TriangleRel::kT, x, y, d);
+    }
+    if (step % 203 == 0) {
+      ASSERT_EQ(cycles.Count(), 6 * cliques.Count()) << step;
+    }
+  }
+  EXPECT_EQ(cycles.Count(), 6 * cliques.Count());
+}
+
+TEST(StressTest, QHierarchicalLongHaul) {
+  // A deeper q-hierarchical query under a long valid stream, checked
+  // against the oracle at sparse checkpoints.
+  enum : Var { W = 3, X = 4, Y = 5, Z = 6 };
+  Query q("deep", Schema{W, X, Y, Z},
+          {Atom{"R", Schema{W, X}}, Atom{"S", Schema{W, X, Y}},
+           Atom{"T", Schema{W, Z}}, Atom{"U", Schema{W}}});
+  ASSERT_TRUE(IsQHierarchical(q));
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  Rng rng(8);
+  std::vector<std::pair<size_t, Tuple>> live;
+  for (int step = 0; step < 20000; ++step) {
+    if (!live.empty() && rng.Chance(0.4)) {
+      size_t i = rng.Uniform(live.size());
+      tree->UpdateAtom(live[i].first, live[i].second, -1);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      size_t atom = rng.Uniform(4);
+      Tuple t;
+      for (size_t k = 0; k < q.atoms()[atom].schema.size(); ++k) {
+        t.push_back(rng.UniformInt(0, 4));
+      }
+      tree->UpdateAtom(atom, t, 1);
+      live.emplace_back(atom, t);
+    }
+    if (step % 4999 != 0) continue;
+    std::vector<const Relation<IntRing>*> rels;
+    for (size_t a = 0; a < 4; ++a) rels.push_back(&tree->AtomRelation(a));
+    auto oracle = EvaluateQuery<IntRing>(q, rels);
+    auto pos = ProjectionPositions(tree->OutputSchema(), q.free());
+    size_t n = 0;
+    for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
+      ASSERT_EQ(oracle.Payload(ProjectTuple(it.tuple(), pos)), it.payload());
+      ++n;
+    }
+    ASSERT_EQ(n, oracle.size()) << step;
+  }
+}
+
+}  // namespace
+}  // namespace incr

@@ -1,0 +1,460 @@
+// View-tree engine tests (DESIGN.md invariant 5): maintenance equals
+// from-scratch recomputation for a catalog of queries under random update
+// streams; constant-delay enumeration matches the oracle's output; lifting,
+// bindings, bulk rebuild, and non-integer rings all work.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree.h"
+#include "incr/engines/join.h"
+#include "incr/query/properties.h"
+#include "incr/ring/int_ring.h"
+#include "incr/ring/provenance.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace {
+
+// Shared variable ids for readability.
+enum : Var { A = 0, B = 1, C = 2, D = 3, X = 4, Y = 5, Z = 6 };
+
+// Oracle comparison: engine enumeration == EvaluateQuery, tuple for tuple.
+void ExpectMatchesOracle(const ViewTree<IntRing>& tree,
+                         const LiftMap<IntRing>* lifts = nullptr) {
+  const Query& q = tree.query();
+  std::vector<const Relation<IntRing>*> rels;
+  for (size_t a = 0; a < q.atoms().size(); ++a) {
+    rels.push_back(&tree.AtomRelation(a));
+  }
+  // Aggregate check (free vars also marginalized => compare against the
+  // empty-free version of the query).
+  Query agg_q(q.name(), Schema{}, q.atoms());
+  Relation<IntRing> agg = EvaluateQuery<IntRing>(agg_q, rels, lifts);
+  EXPECT_EQ(tree.Aggregate(), agg.Payload(Tuple{}));
+
+  if (!tree.plan().CanEnumerate().ok()) return;
+
+  // Output check: enumerate and compare to the oracle output. The oracle
+  // groups by q.free() in declaration order; the enumerator emits free vars
+  // in preorder, so project accordingly.
+  Relation<IntRing> oracle = EvaluateQuery<IntRing>(q, rels, lifts);
+  Schema out_schema = tree.OutputSchema();
+  auto positions = ProjectionPositions(out_schema, q.free());
+  size_t n = 0;
+  std::set<Tuple> seen;
+  for (ViewTreeEnumerator<IntRing> it(tree); it.Valid(); it.Next()) {
+    Tuple t = it.tuple();
+    ASSERT_TRUE(seen.insert(t).second) << "duplicate " << TupleToString(t);
+    Tuple key = ProjectTuple(t, positions);
+    ASSERT_EQ(it.payload(), oracle.Payload(key))
+        << "payload mismatch at " << TupleToString(t);
+    ASSERT_NE(oracle.Payload(key), 0) << "spurious " << TupleToString(t);
+    ++n;
+  }
+  EXPECT_EQ(n, oracle.size());
+}
+
+Query Fig3Query() {
+  // Q(Y,X,Z) = R(Y,X) * S(Y,Z): the q-hierarchical example of Fig. 3.
+  return Query("Q", Schema{Y, X, Z},
+               {Atom{"R", Schema{Y, X}}, Atom{"S", Schema{Y, Z}}});
+}
+
+TEST(ViewTreeTest, Fig3StructureAndMaintenance) {
+  Query q = Fig3Query();
+  ASSERT_TRUE(IsQHierarchical(q));
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_TRUE(tree->plan().AllProgramsConstantTime());
+  EXPECT_TRUE(tree->plan().CanEnumerate().ok());
+
+  tree->Update("R", Tuple{1, 10}, 1);   // R(y=1, x=10)
+  tree->Update("S", Tuple{1, 20}, 2);   // S(y=1, z=20)
+  tree->Update("S", Tuple{1, 21}, 1);
+  tree->Update("R", Tuple{2, 11}, 1);   // y=2 has no S partner
+  ExpectMatchesOracle(*tree);
+
+  ViewTreeEnumerator<IntRing> it(*tree);
+  ASSERT_TRUE(it.Valid());
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 2u);  // (1,10,20) and (1,10,21)
+
+  // Delete the S tuples: y=1 no longer joins.
+  tree->Update("S", Tuple{1, 20}, -2);
+  tree->Update("S", Tuple{1, 21}, -1);
+  ExpectMatchesOracle(*tree);
+  ViewTreeEnumerator<IntRing> it2(*tree);
+  EXPECT_FALSE(it2.Valid());
+}
+
+TEST(ViewTreeTest, AggregateOnlyHierarchicalQuery) {
+  // Q(A) = SUM_B R(A,B)*S(B) (Ex. 4.3 / Fig. 7): hierarchical but not
+  // q-hierarchical. The canonical order roots B, so the aggregate is O(1)
+  // maintainable but the output cannot be enumerated with constant delay.
+  Query q("Q", Schema{A},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  ASSERT_TRUE(IsHierarchical(q));
+  ASSERT_FALSE(IsQHierarchical(q));
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(tree->plan().AllProgramsConstantTime());
+  EXPECT_FALSE(tree->plan().CanEnumerate().ok());
+
+  tree->Update("R", Tuple{1, 5}, 1);
+  tree->Update("R", Tuple{2, 5}, 3);
+  tree->Update("S", Tuple{5}, 2);
+  ExpectMatchesOracle(*tree);  // aggregate = (1+3)*2 = 8
+  EXPECT_EQ(tree->Aggregate(), 8);
+}
+
+TEST(ViewTreeTest, EagerOrderForNonQHierarchicalEnumerates) {
+  // Same query with A above B: updates cost group scans but the output is
+  // enumerable — the "eager" corner of Fig. 7's trade-off space.
+  Query q("Q", Schema{A},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  auto tree = ViewTree<IntRing>::Make(q, *vo);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->plan().AllProgramsConstantTime());
+  EXPECT_TRUE(tree->plan().CanEnumerate().ok());
+
+  tree->Update("R", Tuple{1, 5}, 1);
+  tree->Update("R", Tuple{2, 5}, 3);
+  tree->Update("R", Tuple{3, 6}, 1);  // b=6 not in S
+  tree->Update("S", Tuple{5}, 2);
+  ExpectMatchesOracle(*tree);
+}
+
+TEST(ViewTreeTest, TriangleViaPathOrder) {
+  // Non-hierarchical: the triangle query as a generic view tree.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+           Atom{"T", Schema{C, A}}});
+  ASSERT_FALSE(IsHierarchical(q));
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  auto tree = ViewTree<IntRing>::Make(q, *vo);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_FALSE(tree->plan().AllProgramsConstantTime());
+
+  tree->Update("R", Tuple{1, 11, }, 1);
+  tree->Update("R", Tuple{2, 11}, 3);
+  tree->Update("S", Tuple{11, 21}, 2);
+  tree->Update("S", Tuple{11, 22}, 1);
+  tree->Update("T", Tuple{21, 1}, 1);
+  tree->Update("T", Tuple{22, 2}, 1);
+  EXPECT_EQ(tree->Aggregate(), 5);  // the §3 running example
+  tree->Update("R", Tuple{2, 11}, -2);
+  EXPECT_EQ(tree->Aggregate(), 3);
+  ExpectMatchesOracle(*tree);
+}
+
+TEST(ViewTreeTest, SelfJoinAppliesToAllOccurrences) {
+  // Q(A,B,C) = E(A,B) * E(B,C): edges joined with themselves.
+  Query q("Q", Schema{A, B, C},
+          {Atom{"E", Schema{A, B}}, Atom{"E", Schema{B, C}}});
+  ASSERT_FALSE(q.IsSelfJoinFree());
+  auto vo = VariableOrder::FromPath(q, {B, A, C});
+  ASSERT_TRUE(vo.ok());
+  auto tree = ViewTree<IntRing>::Make(q, *vo);
+  ASSERT_TRUE(tree.ok());
+  tree->Update("E", Tuple{1, 2}, 1);
+  tree->Update("E", Tuple{2, 3}, 1);
+  tree->Update("E", Tuple{2, 2}, 1);  // self-loop
+  ExpectMatchesOracle(*tree);
+  // Output: paths of length 2: (1,2,3), (1,2,2), (2,2,3), (2,2,2).
+  size_t n = 0;
+  for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, 4u);
+  tree->Update("E", Tuple{2, 2}, -1);
+  ExpectMatchesOracle(*tree);
+}
+
+TEST(ViewTreeTest, DisconnectedQueryCrossProduct) {
+  Query q("Q", Schema{X, Y}, {Atom{"R", Schema{X}}, Atom{"S", Schema{Y}}});
+  ASSERT_TRUE(IsQHierarchical(q));
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->Update("R", Tuple{1}, 1);
+  tree->Update("R", Tuple{2}, 1);
+  tree->Update("S", Tuple{7}, 2);
+  tree->Update("S", Tuple{8}, 1);
+  ExpectMatchesOracle(*tree);
+  size_t n = 0;
+  for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) ++n;
+  EXPECT_EQ(n, 4u);
+}
+
+TEST(ViewTreeTest, NoFreeVarsYieldsSingleEmptyTuple) {
+  Query q("Q", Schema{}, {Atom{"R", Schema{A}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  {
+    ViewTreeEnumerator<IntRing> it(*tree);
+    EXPECT_FALSE(it.Valid());  // empty database => empty output
+  }
+  tree->Update("R", Tuple{3}, 2);
+  {
+    ViewTreeEnumerator<IntRing> it(*tree);
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.tuple().size(), 0u);
+    EXPECT_EQ(it.payload(), 2);
+    it.Next();
+    EXPECT_FALSE(it.Valid());
+  }
+}
+
+TEST(ViewTreeTest, BindingRestrictsEnumeration) {
+  Query q = Fig3Query();
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->Update("R", Tuple{1, 10}, 1);
+  tree->Update("R", Tuple{1, 11}, 1);
+  tree->Update("R", Tuple{2, 12}, 1);
+  tree->Update("S", Tuple{1, 20}, 1);
+  tree->Update("S", Tuple{2, 21}, 1);
+
+  Binding b;
+  b.Bind(Y, 1);
+  size_t n = 0;
+  for (ViewTreeEnumerator<IntRing> it(*tree, b); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.tuple()[0], 1);  // Y is the first output var
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);  // (1,10,20), (1,11,20)
+
+  Binding none;
+  none.Bind(Y, 99);
+  ViewTreeEnumerator<IntRing> it(*tree, none);
+  EXPECT_FALSE(it.Valid());
+
+  // Binding a non-root variable: correct, possibly with skips.
+  Binding deep;
+  deep.Bind(X, 11);
+  n = 0;
+  for (ViewTreeEnumerator<IntRing> it2(*tree, deep); it2.Valid();
+       it2.Next()) {
+    EXPECT_EQ(it2.tuple()[1], 11);
+    ++n;
+  }
+  EXPECT_EQ(n, 1u);  // (1,11,20)
+}
+
+TEST(ViewTreeTest, LiftingComputesSumAggregates) {
+  // Q(A) = SUM_B R(A,B) * g(B) with g(b)=b: SUM(B) group-by A, maintained
+  // incrementally.
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A, B}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->SetLifting(B, [](Value b) { return b; });
+  tree->Update("R", Tuple{1, 10}, 1);
+  tree->Update("R", Tuple{1, 5}, 2);   // contributes 2*5
+  tree->Update("R", Tuple{2, 7}, 1);
+  LiftMap<IntRing> lifts;
+  lifts[B] = [](Value b) { return b; };
+  ExpectMatchesOracle(*tree, &lifts);
+  // Spot-check: group A=1 has 10 + 2*5 = 20.
+  ViewTreeEnumerator<IntRing> it(*tree);
+  std::map<Value, int64_t> got;
+  for (; it.Valid(); it.Next()) got[it.tuple()[0]] = it.payload();
+  EXPECT_EQ(got[1], 20);
+  EXPECT_EQ(got[2], 7);
+}
+
+TEST(ViewTreeTest, RebuildMatchesIncremental) {
+  Query q = Fig3Query();
+  auto inc = ViewTree<IntRing>::Make(q);
+  auto bulk = ViewTree<IntRing>::Make(q);
+  ASSERT_TRUE(inc.ok() && bulk.ok());
+  Rng rng(3);
+  // Valid update stream: deletes target live tuples only, so payloads stay
+  // non-negative (the paper's valid-database assumption; see the
+  // enumeration caveat in view_tree.h).
+  std::vector<std::pair<size_t, Tuple>> live;
+  for (int i = 0; i < 300; ++i) {
+    size_t atom;
+    Tuple t;
+    int64_t m;
+    if (!live.empty() && rng.Chance(0.3)) {
+      size_t k = rng.Uniform(live.size());
+      atom = live[k].first;
+      t = live[k].second;
+      m = -1;
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      atom = rng.Chance(0.5) ? 0 : 1;
+      t = Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 20)};
+      m = 1;
+      live.emplace_back(atom, t);
+    }
+    inc->UpdateAtom(atom, t, m);
+    bulk->LoadAtom(atom, t, m);
+  }
+  bulk->Rebuild();
+  ExpectMatchesOracle(*inc);
+  ExpectMatchesOracle(*bulk);
+  EXPECT_EQ(inc->Aggregate(), bulk->Aggregate());
+  // Views must be identical, entry for entry.
+  for (size_t n = 0; n < inc->plan().nodes().size(); ++n) {
+    const auto& wi = inc->NodeW(static_cast<int>(n));
+    const auto& wb = bulk->NodeW(static_cast<int>(n));
+    ASSERT_EQ(wi.size(), wb.size());
+    for (const auto& e : wi) ASSERT_EQ(wb.Payload(e.key), e.value);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Randomized property suite over a catalog of queries.
+
+struct CatalogCase {
+  const char* label;
+  Query query;
+  // Empty => canonical order; otherwise a path order over these vars.
+  std::vector<Var> path;
+  int domain;
+  int steps;
+};
+
+class ViewTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+std::vector<CatalogCase> Catalog() {
+  std::vector<CatalogCase> cases;
+  cases.push_back({"fig3", Fig3Query(), {}, 8, 600});
+  cases.push_back({"agg-only",
+                   Query("Q", Schema{A},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}}),
+                   {},
+                   8,
+                   600});
+  cases.push_back({"eager-nonq",
+                   Query("Q", Schema{A},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}}),
+                   {A, B},
+                   8,
+                   600});
+  cases.push_back({"triangle",
+                   Query("Q", Schema{},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+                          Atom{"T", Schema{C, A}}}),
+                   {A, B, C},
+                   6,
+                   500});
+  cases.push_back({"path4-all-free",
+                   Query("Q", Schema{A, B, C, D},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+                          Atom{"T", Schema{C, D}}}),
+                   {B, A, C, D},
+                   5,
+                   500});
+  cases.push_back({"star-qh",
+                   Query("Q", Schema{A, B, C},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}},
+                          Atom{"U", Schema{A}}}),
+                   {},
+                   6,
+                   600});
+  cases.push_back({"selfjoin-2path",
+                   Query("Q", Schema{A, B, C},
+                         {Atom{"E", Schema{A, B}}, Atom{"E", Schema{B, C}}}),
+                   {B, A, C},
+                   6,
+                   400});
+  cases.push_back({"boolean-2way",
+                   Query("Q", Schema{},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}}}),
+                   {},
+                   8,
+                   500});
+  // Multiple atoms anchored at one node plus bound leaves: stresses
+  // multi-factor programs and the M-of-bound-children payload path.
+  cases.push_back({"multi-atom-node",
+                   Query("Q", Schema{A, B},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, B}},
+                          Atom{"T", Schema{A, B, C}}, Atom{"U", Schema{A}}}),
+                   {},
+                   5,
+                   500});
+  // Wide q-hierarchical star with mixed bound branches.
+  cases.push_back({"wide-star",
+                   Query("Q", Schema{A, B},
+                         {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}},
+                          Atom{"T", Schema{A, D}}, Atom{"U", Schema{A}}}),
+                   {},
+                   5,
+                   500});
+  return cases;
+}
+
+TEST_P(ViewTreePropertyTest, MatchesOracleUnderRandomStreams) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  for (const CatalogCase& c : Catalog()) {
+    SCOPED_TRACE(c.label);
+    StatusOr<ViewTree<IntRing>> tree =
+        c.path.empty()
+            ? ViewTree<IntRing>::Make(c.query)
+            : [&] {
+                auto vo = VariableOrder::FromPath(c.query, c.path);
+                EXPECT_TRUE(vo.ok());
+                return ViewTree<IntRing>::Make(c.query, *vo);
+              }();
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+
+    Rng rng(seed * 1000 + 7);
+    std::vector<std::pair<size_t, Tuple>> live;
+    for (int step = 0; step < c.steps; ++step) {
+      if (!live.empty() && rng.Chance(0.35)) {
+        size_t i = rng.Uniform(live.size());
+        tree->UpdateAtom(live[i].first, live[i].second, -1);
+        live[i] = live.back();
+        live.pop_back();
+      } else {
+        size_t atom = rng.Uniform(c.query.atoms().size());
+        Tuple t;
+        for (size_t k = 0; k < c.query.atoms()[atom].schema.size(); ++k) {
+          t.push_back(rng.UniformInt(0, c.domain - 1));
+        }
+        int64_t m = rng.Chance(0.2) ? 2 : 1;
+        tree->UpdateAtom(atom, t, m);
+        live.emplace_back(atom, t);
+        if (m == 2) live.emplace_back(atom, t);
+      }
+      if (step % 97 == 0) ExpectMatchesOracle(*tree);
+    }
+    ExpectMatchesOracle(*tree);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(ViewTreeProvenanceTest, PayloadsTrackDerivations) {
+  // Over the provenance ring, the aggregate of a join is the polynomial sum
+  // of products of the input annotations.
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  auto tree = ViewTree<ProvenanceRing>::Make(q);
+  ASSERT_TRUE(tree.ok());
+  tree->Update("R", Tuple{1, 5}, Polynomial::Var(0));  // annotation x0
+  tree->Update("R", Tuple{2, 5}, Polynomial::Var(1));  // x1
+  tree->Update("S", Tuple{5}, Polynomial::Var(2));     // x2
+  Polynomial agg = tree->Aggregate();
+  // (x0 + x1) * x2
+  Polynomial expect =
+      (Polynomial::Var(0) + Polynomial::Var(1)) * Polynomial::Var(2);
+  EXPECT_TRUE(agg == expect) << agg.ToString();
+
+  // Deleting R(1,5) (inserting -x0) removes that derivation.
+  tree->Update("R", Tuple{1, 5}, -Polynomial::Var(0));
+  EXPECT_TRUE(tree->Aggregate() ==
+              Polynomial::Var(1) * Polynomial::Var(2));
+}
+
+}  // namespace
+}  // namespace incr

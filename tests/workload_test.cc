@@ -1,0 +1,115 @@
+// Workload generator invariants: the synthetic substitutes must actually
+// have the structure the experiments assume (DESIGN.md substitution table).
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree_plan.h"
+#include "incr/query/properties.h"
+#include "incr/workload/graph.h"
+#include "incr/workload/imdb.h"
+#include "incr/workload/retailer.h"
+
+namespace incr {
+namespace {
+
+TEST(RetailerWorkloadTest, StructureMatchesFig4Setup) {
+  RetailerWorkload wl(100, 10, 50, 1);
+  // The query is NOT q-hierarchical (Ex. 4.10)...
+  EXPECT_FALSE(IsQHierarchical(wl.query()));
+  EXPECT_FALSE(IsHierarchical(wl.query()));
+  // ...but the F-IVM order exists and handles the fact-table stream in
+  // O(1) with constant-delay enumeration.
+  auto plan = ViewTreePlan::Make(wl.query(), wl.Order());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->CanEnumerate().ok());
+  EXPECT_TRUE(plan->ProgramsConstantTimeFor({RetailerWorkload::kInventory}));
+
+  // Location: every location in exactly one zip (the fd locn -> zip of
+  // Ex. 4.10's discussion) and every zip in Census.
+  std::set<Value> zips;
+  std::map<Value, Value> locn_zip;
+  for (const Tuple& t : wl.locations()) {
+    auto [it, fresh] = locn_zip.emplace(t[0], t[1]);
+    EXPECT_TRUE(fresh || it->second == t[1]);
+    zips.insert(t[1]);
+  }
+  std::set<Value> census_zips;
+  for (const Tuple& t : wl.censuses()) census_zips.insert(t[0]);
+  EXPECT_EQ(zips, census_zips);
+  EXPECT_EQ(wl.locations().size(), 100u);
+  EXPECT_EQ(wl.weathers().size(), 100u * 10u);
+
+  // Inventory inserts reference existing dimensions (valid joins).
+  for (int i = 0; i < 500; ++i) {
+    Tuple t = wl.NextInventoryInsert();
+    EXPECT_GE(t[0], 0);
+    EXPECT_LT(t[0], 100);
+    EXPECT_GE(t[1], 0);
+    EXPECT_LT(t[1], 10);
+    EXPECT_GE(t[2], 0);
+    EXPECT_LT(t[2], 50);
+  }
+}
+
+TEST(RetailerWorkloadTest, ItemStreamIsSkewed) {
+  RetailerWorkload wl(10, 5, 1000, 2);
+  std::map<Value, int> freq;
+  for (int i = 0; i < 5000; ++i) ++freq[wl.NextInventoryInsert()[2]];
+  // Zipf-ish: the most popular item should dwarf the uniform share.
+  int max_freq = 0;
+  for (const auto& [k, f] : freq) max_freq = std::max(max_freq, f);
+  EXPECT_GT(max_freq, 5 * 5000 / 1000);
+}
+
+TEST(ImdbWorkloadTest, BatchesAreValidAndAdversarial) {
+  ImdbWorkload wl(3);
+  std::map<Tuple, int64_t> titles, companies, mc;
+  for (int round = 0; round < 10; ++round) {
+    auto batch = wl.NextValidBatch(5, 7);
+    bool child_before_parent = false;
+    std::set<Value> seen_cids;
+    for (const auto& u : batch) {
+      if (u.rel == "MovieCompanies" && u.delta > 0 &&
+          companies.count(Tuple{u.tuple[1]}) == 0 &&
+          seen_cids.count(u.tuple[1]) == 0) {
+        child_before_parent = true;
+      }
+      if (u.rel == "Company" && u.delta > 0) seen_cids.insert(u.tuple[0]);
+      auto& rel = u.rel == "Title" ? titles
+                  : u.rel == "Company" ? companies
+                                       : mc;
+      rel[u.tuple] += u.delta;
+      if (rel[u.tuple] == 0) rel.erase(u.tuple);
+    }
+    EXPECT_TRUE(child_before_parent);
+    // Batch boundary: consistent (every FK has its PK).
+    for (const auto& [t, m] : mc) {
+      EXPECT_TRUE(titles.count(Tuple{t[0]}) > 0) << TupleToString(t);
+      EXPECT_TRUE(companies.count(Tuple{t[1]}) > 0) << TupleToString(t);
+    }
+    // No negative multiplicities at the boundary.
+    for (const auto& [t, m] : titles) EXPECT_GT(m, 0);
+    for (const auto& [t, m] : companies) EXPECT_GT(m, 0);
+  }
+}
+
+TEST(GraphStreamTest, WindowBoundsLiveEdges) {
+  GraphStream stream(100, 0.5, /*window=*/200, 9);
+  int64_t live = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto e = stream.Next();
+    live += e.delta;
+    EXPECT_LE(live, 202);  // window + in-flight slack
+    EXPECT_GE(live, 0);
+  }
+}
+
+TEST(GraphStreamTest, NoWindowMeansInsertOnly) {
+  GraphStream stream(50, 1.0, /*window=*/0, 9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(stream.Next().delta, 1);
+}
+
+}  // namespace
+}  // namespace incr

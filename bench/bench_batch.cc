@@ -1,0 +1,313 @@
+// E14: the batched delta pipeline (DESIGN.md §"Delta pipeline").
+//
+// Part 1 sweeps batch sizes {1, 10, 100, 1k, 10k} over a q-hierarchical
+// query, a non-q-hierarchical query under a path order, and the cyclic
+// triangle query, comparing per-tuple application (ApplyBatchPerTuple)
+// against node-at-a-time propagation (ApplyBatch). Expected shape: the
+// two coincide at batch 1; node-at-a-time pulls ahead as batches grow,
+// dramatically so on non-q-hierarchical queries where duplicate deltas
+// merge before their O(N) fan-out programs run. Both trees receive the
+// same deltas, so the final aggregates must agree — a built-in check of
+// the §2 batch-commutativity claim. Results land in BENCH_batch.json.
+//
+// Part 2 drives every maintenance engine in the library through the
+// unified IvmEngine<R> interface: named-delta batches in, output
+// enumeration out, one code path for all of them.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "incr/cascade/cascade_engine.h"
+#include "incr/core/view_tree.h"
+#include "incr/cqap/cqap_engine.h"
+#include "incr/engines/engine.h"
+#include "incr/engines/mixed_engine.h"
+#include "incr/engines/shattered_engine.h"
+#include "incr/engines/strategies.h"
+#include "incr/insertonly/insert_only_engine.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+using namespace incr;
+using namespace incr::bench;
+
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2, D = 3 };
+
+using Entry = ViewTree<IntRing>::BatchEntry;
+
+// A sweep workload: how to build a preloaded tree and how to draw one
+// batch of insert deltas (deletions are the same batch negated).
+struct Workload {
+  std::string name;
+  std::function<ViewTree<IntRing>()> build;
+  std::function<Entry(Rng&)> draw;
+};
+
+Workload QHierarchicalWorkload() {
+  // Q(A,B,C) = R(A,B), S(A,C), canonical order: O(1) per update.
+  const int64_t n = 100000;
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  return {
+      "qhierarchical",
+      [q, n] {
+        auto tree = ViewTree<IntRing>::Make(q);
+        INCR_CHECK(tree.ok());
+        Rng rng(7);
+        for (int64_t i = 0; i < n; ++i) {
+          tree->UpdateAtom(i % 2, Tuple{rng.UniformInt(0, n / 2),
+                                        rng.UniformInt(0, 999)}, 1);
+        }
+        return *std::move(tree);
+      },
+      [n](Rng& rng) {
+        return Entry{static_cast<size_t>(rng.UniformInt(0, 1)),
+                     Tuple{rng.UniformInt(0, n / 2),
+                           rng.UniformInt(0, 999)}, 1};
+      },
+  };
+}
+
+Workload NonQHierarchicalWorkload() {
+  // Q(A) = SUM_B R(A,B)*S(B) under the path order A -> B. A delta to S(b)
+  // fans out to every A-partner of b (~N/64 of them), so merging the ~64
+  // distinct S-deltas of a large batch before propagation is the whole
+  // game.
+  const int64_t n = 200000;
+  const int64_t n_b = 64;
+  Query q("Q", Schema{A}, {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+  return {
+      "nonqh-fanout",
+      [q, n, n_b] {
+        auto vo = VariableOrder::FromPath(q, {A, B});
+        INCR_CHECK(vo.ok());
+        auto tree = ViewTree<IntRing>::Make(q, *vo);
+        INCR_CHECK(tree.ok());
+        Rng rng(7);
+        for (int64_t i = 0; i < n; ++i) {
+          tree->UpdateAtom(0, Tuple{rng.UniformInt(0, n - 1),
+                                    rng.UniformInt(0, n_b - 1)}, 1);
+        }
+        for (Value b = 0; b < n_b; ++b) tree->UpdateAtom(1, Tuple{b}, 1);
+        return *std::move(tree);
+      },
+      [n_b](Rng& rng) {
+        return Entry{1, Tuple{rng.UniformInt(0, n_b - 1)}, 1};
+      },
+  };
+}
+
+Workload TriangleWorkload() {
+  // Cyclic Q() = R(A,B), S(B,C), T(C,A) under the path order A -> B -> C
+  // over a 256-node graph; a delta edge joins against both neighbor
+  // relations.
+  const int64_t v = 256;
+  const int64_t edges = 20000;
+  Query q("Q", Schema{},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+           Atom{"T", Schema{C, A}}});
+  return {
+      "triangle",
+      [q, v, edges] {
+        auto vo = VariableOrder::FromPath(q, {A, B, C});
+        INCR_CHECK(vo.ok());
+        auto tree = ViewTree<IntRing>::Make(q, *vo);
+        INCR_CHECK(tree.ok());
+        Rng rng(7);
+        for (size_t a = 0; a < 3; ++a) {
+          for (int64_t i = 0; i < edges; ++i) {
+            tree->UpdateAtom(a, Tuple{rng.UniformInt(0, v - 1),
+                                      rng.UniformInt(0, v - 1)}, 1);
+          }
+        }
+        return *std::move(tree);
+      },
+      [v](Rng& rng) {
+        return Entry{0, Tuple{rng.UniformInt(0, v - 1),
+                              rng.UniformInt(0, v - 1)}, 1};
+      },
+  };
+}
+
+// Measures one (workload, batch size) cell: the same delta stream is
+// applied per-tuple to one tree and node-at-a-time to an identically
+// preloaded second tree. Even repetitions insert a fresh batch, odd ones
+// retract it, so the database stays near its preloaded size.
+void MeasureCell(const Workload& w, int64_t batch_size, double* per_tuple_ns,
+                 double* batched_ns) {
+  ViewTree<IntRing> seq_tree = w.build();
+  ViewTree<IntRing> bat_tree = w.build();
+  const int64_t total_ops = 20000;
+  int64_t reps = std::max<int64_t>(2, total_ops / batch_size);
+  if (reps % 2 != 0) ++reps;
+  Rng rng(13);
+  std::vector<Entry> batch;
+  double seq_secs = 0, bat_secs = 0;
+  int64_t ops = 0;
+  for (int64_t rep = 0; rep < reps; ++rep) {
+    if (rep % 2 == 0) {
+      batch.clear();
+      for (int64_t i = 0; i < batch_size; ++i) batch.push_back(w.draw(rng));
+    } else {
+      for (Entry& e : batch) e.delta = -e.delta;
+    }
+    Stopwatch seq;
+    seq_tree.ApplyBatchPerTuple(batch);
+    seq_secs += seq.ElapsedSeconds();
+    Stopwatch bat;
+    bat_tree.ApplyBatch(std::span<const Entry>(batch));
+    bat_secs += bat.ElapsedSeconds();
+    ops += batch_size;
+  }
+  // Ring-identical end states (§2 batch commutativity), checked for free.
+  INCR_CHECK(seq_tree.Aggregate() == bat_tree.Aggregate());
+  *per_tuple_ns = NsPerOp(seq_secs, ops);
+  *batched_ns = NsPerOp(bat_secs, ops);
+}
+
+// ---------------------------------------------------------------------
+// Part 2: one driver for every engine in the library.
+
+// Applies a named-delta batch and enumerates through nothing but the
+// IvmEngine interface.
+void DriveEngine(IvmEngine<IntRing>& e,
+                 const std::vector<Delta<IntRing>>& deltas) {
+  Stopwatch sw;
+  e.ApplyBatch(deltas);
+  double ms = sw.ElapsedMillis();
+  size_t out = e.Enumerate(nullptr);
+  Row({e.name(), FmtInt(static_cast<int64_t>(deltas.size())),
+       FmtInt(static_cast<int64_t>(out)), Fmt(ms, "%.3f")});
+}
+
+std::vector<Delta<IntRing>> DrawNamedDeltas(
+    const std::vector<std::pair<std::string, size_t>>& rels, int64_t count,
+    int64_t domain, Rng& rng) {
+  std::vector<Delta<IntRing>> out;
+  for (int64_t i = 0; i < count; ++i) {
+    const auto& [rel, arity] =
+        rels[rng.UniformInt(0, static_cast<int64_t>(rels.size()) - 1)];
+    Tuple t;
+    for (size_t c = 0; c < arity; ++c) {
+      t.push_back(rng.UniformInt(0, domain - 1));
+    }
+    out.push_back({rel, std::move(t), 1});
+  }
+  return out;
+}
+
+void RunAllEngines() {
+  Section("E14b: every engine behind IvmEngine<R> (batch in, enum out)");
+  Row({"engine", "deltas", "output", "ms"});
+  Rng rng(21);
+  const int64_t kBatch = 256;
+
+  // The four Fig. 4 strategies + the bare view-tree engine over the
+  // q-hierarchical Q(A,B,C) = R(A,B), S(A,C).
+  Query qh("Q", Schema{A, B, C},
+           {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto deltas = DrawNamedDeltas({{"R", 2}, {"S", 2}}, kBatch, 64, rng);
+  for (auto& s : MakeAllStrategies<IntRing>(qh)) DriveEngine(*s, deltas);
+  auto vt = ViewTree<IntRing>::Make(qh);
+  INCR_CHECK(vt.ok());
+  ViewTreeEngine<IntRing> vte(*std::move(vt));
+  DriveEngine(vte, deltas);
+
+  // Mixed static/dynamic (§4.5): S and T static, R and U dynamic.
+  Query mq("Q", Schema{A, C, D},
+           {Atom{"R", Schema{A, D}}, Atom{"S", Schema{A, B}},
+            Atom{"T", Schema{B, C}}, Atom{"U", Schema{D}}});
+  auto mixed = MixedStaticDynamicEngine<IntRing>::Make(
+      mq, {false, true, true, false});
+  INCR_CHECK(mixed.ok());
+  for (int64_t i = 0; i < 256; ++i) {
+    mixed->Load(1, Tuple{rng.UniformInt(0, 63), rng.UniformInt(0, 63)}, 1);
+    mixed->Load(2, Tuple{rng.UniformInt(0, 63), rng.UniformInt(0, 63)}, 1);
+  }
+  mixed->Seal();
+  DriveEngine(*mixed, DrawNamedDeltas({{"R", 2}, {"U", 1}}, kBatch, 64, rng));
+
+  // Shattered small-domain engine (§4.4): Y ranges over 4 values.
+  Query sq("Q", Schema{},
+           {Atom{"R", Schema{A}}, Atom{"S", Schema{A, B}},
+            Atom{"T", Schema{B}}});
+  auto shat = ShatteredEngine<IntRing>::Make(sq, Schema{B});
+  INCR_CHECK(shat.ok());
+  std::vector<Delta<IntRing>> sdeltas;
+  for (int64_t i = 0; i < kBatch; ++i) {
+    switch (rng.UniformInt(0, 2)) {
+      case 0: sdeltas.push_back({"R", Tuple{rng.UniformInt(0, 63)}, 1});
+              break;
+      case 1: sdeltas.push_back({"S", Tuple{rng.UniformInt(0, 63),
+                                            rng.UniformInt(0, 3)}, 1});
+              break;
+      default: sdeltas.push_back({"T", Tuple{rng.UniformInt(0, 3)}, 1});
+    }
+  }
+  DriveEngine(*shat, sdeltas);
+
+  // Cascade (§4.2): Q1 over R,S,T rewritten through q-hierarchical Q2.
+  Query q1("Q1", Schema{A, B, C, D},
+           {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+            Atom{"T", Schema{C, D}}});
+  Query q2("Q2", Schema{A, B, C},
+           {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}}});
+  auto casc = CascadeEngine<IntRing>::Make(q1, q2);
+  INCR_CHECK(casc.ok());
+  DriveEngine(*casc,
+              DrawNamedDeltas({{"R", 2}, {"S", 2}, {"T", 2}}, kBatch, 16,
+                              rng));
+
+  // CQAP with no input variables (§4.3): Enumerate() is the one access.
+  auto cqap = CqapEngine<IntRing>::Make(CqapQuery::Make(
+      "fig3", Schema{}, Schema{A, B, C},
+      {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}}));
+  INCR_CHECK(cqap.ok());
+  DriveEngine(*cqap, DrawNamedDeltas({{"R", 2}, {"S", 2}}, kBatch, 64, rng));
+
+  // Insert-only (§4.6): alpha-acyclic join, inserts only.
+  Query joinq("Q", Schema{A, B, C},
+              {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}}});
+  auto ins = InsertOnlyEngine::Make(joinq);
+  INCR_CHECK(ins.ok());
+  DriveEngine(*ins, DrawNamedDeltas({{"R", 2}, {"S", 2}}, kBatch, 64, rng));
+}
+
+}  // namespace
+
+int main() {
+  Section("E14a: per-tuple vs node-at-a-time batches (ns/delta)");
+  Row({"query", "batch", "per-tuple", "batched", "speedup"});
+  JsonArrayWriter json;
+  for (const Workload& w :
+       {QHierarchicalWorkload(), NonQHierarchicalWorkload(),
+        TriangleWorkload()}) {
+    for (int64_t batch : {1, 10, 100, 1000, 10000}) {
+      double per_tuple = 0, batched = 0;
+      MeasureCell(w, batch, &per_tuple, &batched);
+      double speedup = batched > 0 ? per_tuple / batched : 0;
+      Row({w.name, FmtInt(batch), Fmt(per_tuple), Fmt(batched),
+           Fmt(speedup, "%.2f")});
+      json.BeginObject();
+      json.Field("query", w.name);
+      json.Field("batch", batch);
+      json.Field("per_tuple_ns", per_tuple);
+      json.Field("batched_ns", batched);
+      json.Field("speedup", speedup);
+      json.EndObject();
+    }
+  }
+  if (json.WriteFile("BENCH_batch.json")) {
+    std::printf("\nwrote BENCH_batch.json\n");
+  }
+  RunAllEngines();
+  return 0;
+}

@@ -14,6 +14,52 @@
 
 namespace incr::bench {
 
+/// Accumulates flat objects and writes them as a JSON array — the
+/// machine-readable BENCH_*.json artifacts next to the printed tables.
+class JsonArrayWriter {
+ public:
+  void BeginObject() { fields_.clear(); }
+
+  void Field(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.push_back("\"" + key + "\": " + buf);
+  }
+  void Field(const std::string& key, int64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+
+  void EndObject() {
+    std::string obj = "  {";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) obj += ", ";
+      obj += fields_[i];
+    }
+    obj += "}";
+    objects_.push_back(std::move(obj));
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", objects_[i].c_str(),
+                   i + 1 < objects_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  std::vector<std::string> fields_;
+  std::vector<std::string> objects_;
+};
+
 /// Prints a separator + title block.
 inline void Section(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());

@@ -1,24 +1,39 @@
-// An interactive IVM shell: define a query, stream updates, and read the
-// maintained output — the whole library behind a six-command language.
-// Runs a scripted demo session when stdin is not a terminal or on EOF.
+// An interactive IVM shell: define a query, pick a maintenance engine,
+// stream updates (single-tuple or batched), and read the maintained
+// output — the whole library behind a small command language. Runs a
+// scripted demo session when stdin is not a terminal or on EOF.
 //
 //   query Q(A, B) = R(A, B), S(B)        define + classify + build engine
+//   engine <kind>                        eager-fact | eager-list |
+//                                        lazy-fact | lazy-list | view-tree
+//                                        (rebuilds empty; view-tree also
+//                                        serves non-enumerable plans)
 //   +R 1 2          / +R 1 2 x3          insert (with multiplicity)
 //   -R 1 2                               delete
+//   batch <file>                         apply a file of deltas as one
+//                                        batch: `Rel v1 .. vn [xN]` per
+//                                        line, optional +/- prefix
 //   enum                                 enumerate the current output
 //   agg                                  the full aggregate (count)
 //   classify                             structural report for the query
 //   help / quit
 //
 // Values may be integers or identifiers (interned via Dictionary).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/data/delta.h"
+#include "incr/engines/engine.h"
+#include "incr/engines/strategies.h"
 #include "incr/query/parser.h"
 #include "incr/query/properties.h"
 #include "incr/ring/int_ring.h"
@@ -31,7 +46,11 @@ struct Session {
   VarRegistry vars;
   Dictionary dict;
   std::optional<Query> query;
-  std::optional<ViewTree<IntRing>> tree;
+  std::unique_ptr<IvmEngine<IntRing>> engine;
+  std::string kind = "eager-fact";
+  Schema out_schema;  // free vars in the tree's enumeration order
+  bool plan_o1_updates = false;
+  bool plan_can_enum = false;
 
   Value ParseValue(const std::string& tok) {
     char* end = nullptr;
@@ -49,6 +68,44 @@ struct Session {
     return std::to_string(v);
   }
 
+  StatusOr<ViewTree<IntRing>> MakeTree() {
+    if (IsHierarchical(*query)) return ViewTree<IntRing>::Make(*query);
+    // Fall back to a path order over all variables.
+    Schema all = query->AllVars();
+    auto vo = VariableOrder::FromPath(
+        *query, std::vector<Var>(all.begin(), all.end()));
+    if (!vo.ok()) return vo.status();
+    return ViewTree<IntRing>::Make(*query, *std::move(vo));
+  }
+
+  // (Re)builds `engine` of the requested kind over an empty database.
+  Status BuildEngine() {
+    auto t = MakeTree();
+    if (!t.ok()) return t.status();
+    plan_o1_updates = t->plan().AllProgramsConstantTime();
+    plan_can_enum = t->plan().CanEnumerate().ok();
+    out_schema = t->OutputSchema();
+    if (!plan_can_enum && kind != "view-tree") {
+      std::printf("note: plan is not enumerable; using the view-tree "
+                  "engine (agg only)\n");
+      kind = "view-tree";
+    }
+    if (kind == "view-tree") {
+      engine = std::make_unique<ViewTreeEngine<IntRing>>(*std::move(t));
+    } else if (kind == "eager-fact") {
+      engine = std::make_unique<EagerFactStrategy<IntRing>>(*std::move(t));
+    } else if (kind == "eager-list") {
+      engine = std::make_unique<EagerListStrategy<IntRing>>(*std::move(t));
+    } else if (kind == "lazy-fact") {
+      engine = std::make_unique<LazyFactStrategy<IntRing>>(*std::move(t));
+    } else if (kind == "lazy-list") {
+      engine = std::make_unique<LazyListStrategy<IntRing>>(*std::move(t));
+    } else {
+      return Status::InvalidArgument("unknown engine kind '" + kind + "'");
+    }
+    return Status::Ok();
+  }
+
   void Classify() {
     if (!query) {
       std::printf("no query defined\n");
@@ -63,11 +120,10 @@ struct Session {
                 IsAlphaAcyclic(*query) ? "yes" : "no");
     std::printf("  free-connex:     %s\n",
                 IsFreeConnex(*query) ? "yes" : "no");
-    if (tree) {
-      std::printf("  O(1) updates:    %s\n",
-                  tree->plan().AllProgramsConstantTime() ? "yes" : "no");
-      std::printf("  O(1) delay enum: %s\n",
-                  tree->plan().CanEnumerate().ok() ? "yes" : "no");
+    if (engine) {
+      std::printf("  engine:          %s\n", engine->name());
+      std::printf("  O(1) updates:    %s\n", plan_o1_updates ? "yes" : "no");
+      std::printf("  O(1) delay enum: %s\n", plan_can_enum ? "yes" : "no");
     }
   }
 
@@ -77,34 +133,50 @@ struct Session {
       std::printf("error: %s\n", q.status().ToString().c_str());
       return;
     }
-    StatusOr<ViewTree<IntRing>> t =
-        IsHierarchical(*q)
-            ? ViewTree<IntRing>::Make(*q)
-            : [&]() -> StatusOr<ViewTree<IntRing>> {
-                // Fall back to a path order over all variables.
-                Schema all = q->AllVars();
-                auto vo = VariableOrder::FromPath(
-                    *q, std::vector<Var>(all.begin(), all.end()));
-                if (!vo.ok()) return vo.status();
-                return ViewTree<IntRing>::Make(*q, *std::move(vo));
-              }();
-    if (!t.ok()) {
-      std::printf("error: %s\n", t.status().ToString().c_str());
+    query = *std::move(q);
+    Status st = BuildEngine();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      query.reset();
+      engine.reset();
       return;
     }
-    query = *std::move(q);
-    tree = *std::move(t);
     Classify();
   }
 
-  void Update(const std::string& line, int64_t sign) {
-    if (!tree) {
+  void SwitchEngine(const std::string& new_kind) {
+    if (!query) {
       std::printf("define a query first\n");
       return;
     }
+    // Validate before rebuilding: a typo must not wipe the session state.
+    if (new_kind != "view-tree" && new_kind != "eager-fact" &&
+        new_kind != "eager-list" && new_kind != "lazy-fact" &&
+        new_kind != "lazy-list") {
+      std::printf("unknown engine kind '%s'; try 'help'\n", new_kind.c_str());
+      return;
+    }
+    kind = new_kind;
+    Status st = BuildEngine();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("engine: %s (state cleared; replay your updates)\n",
+                engine->name());
+  }
+
+  // Parses "Rel v1 .. vn [xN]" (optional +/- prefix on Rel) into a delta.
+  // Returns false and prints a diagnostic on malformed input.
+  bool ParseDelta(const std::string& line, Delta<IntRing>* out) {
     std::istringstream in(line);
     std::string rel, tok;
     in >> rel;
+    int64_t sign = 1;
+    if (!rel.empty() && (rel[0] == '+' || rel[0] == '-')) {
+      if (rel[0] == '-') sign = -1;
+      rel = rel.substr(1);
+    }
     Tuple t;
     int64_t mult = 1;
     while (in >> tok) {
@@ -125,57 +197,119 @@ struct Session {
         if (a.schema.size() != t.size()) {
           std::printf("arity mismatch: %s has %zu columns\n", rel.c_str(),
                       a.schema.size());
-          return;
+          return false;
         }
       }
     }
     if (!known) {
       std::printf("unknown relation '%s'\n", rel.c_str());
-      return;
+      return false;
     }
-    tree->Update(rel, t, sign * mult);
-    std::printf("ok (aggregate = %lld)\n",
-                static_cast<long long>(tree->Aggregate()));
+    *out = Delta<IntRing>{rel, std::move(t), sign * mult};
+    return true;
   }
 
-  void Enumerate() {
-    if (!tree) {
+  void Update(const std::string& line, int64_t sign) {
+    if (!engine) {
       std::printf("define a query first\n");
       return;
     }
-    if (!tree->plan().CanEnumerate().ok()) {
-      std::printf("output is not enumerable with this plan (%s); agg is "
-                  "still maintained\n",
-                  tree->plan().CanEnumerate().ToString().c_str());
+    Delta<IntRing> d;
+    if (!ParseDelta(line, &d)) return;
+    engine->Update(d.relation, d.tuple, sign * d.delta);
+    std::printf("ok (aggregate = %lld)\n",
+                static_cast<long long>(Aggregate()));
+  }
+
+  // Reads a file of deltas and applies it as ONE batch through the
+  // engine's bulk path (node-at-a-time for view trees).
+  void Batch(const std::string& path) {
+    if (!engine) {
+      std::printf("define a query first\n");
       return;
     }
-    Schema out = tree->OutputSchema();
+    std::ifstream in(path);
+    if (!in) {
+      std::printf("cannot open '%s'\n", path.c_str());
+      return;
+    }
+    std::vector<Delta<IntRing>> deltas;
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      size_t start = line.find_first_not_of(" \t\r");
+      if (start == std::string::npos || line[start] == '#') continue;
+      Delta<IntRing> d;
+      if (!ParseDelta(line.substr(start), &d)) {
+        std::printf("  (at %s:%zu; batch aborted)\n", path.c_str(), lineno);
+        return;
+      }
+      deltas.push_back(std::move(d));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    engine->ApplyBatch(deltas);
+    auto t1 = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double per_s = ms > 0 ? deltas.size() / ms * 1e3 : 0;
+    std::printf("applied %zu delta(s) in %.3f ms (%.0f deltas/s), "
+                "aggregate = %lld\n",
+                deltas.size(), ms, per_s,
+                static_cast<long long>(Aggregate()));
+  }
+
+  int64_t Aggregate() {
+    // The view-tree fallback maintains the aggregate even when the output
+    // is not enumerable; every other engine kind has an enumerable plan,
+    // and the sum of output payloads IS the aggregate.
+    if (auto* vt = dynamic_cast<ViewTreeEngine<IntRing>*>(engine.get())) {
+      return vt->tree().Aggregate();
+    }
+    int64_t agg = 0;
+    engine->Enumerate([&](const Tuple&, const int64_t& p) { agg += p; });
+    return agg;
+  }
+
+  void Enumerate() {
+    if (!engine) {
+      std::printf("define a query first\n");
+      return;
+    }
+    if (!plan_can_enum) {
+      std::printf("output is not enumerable with this plan; agg is still "
+                  "maintained\n");
+      return;
+    }
     std::string header;
-    for (Var v : out) header += vars.Name(v) + " ";
+    for (Var v : out_schema) header += vars.Name(v) + " ";
     std::printf("  %s-> payload\n", header.c_str());
     size_t n = 0;
-    for (ViewTreeEnumerator<IntRing> it(*tree); it.Valid(); it.Next()) {
-      Tuple t = it.tuple();
+    size_t total = engine->Enumerate([&](const Tuple& t, const int64_t& p) {
+      if (n >= 50) return;
       std::string row;
       for (Value v : t) row += RenderValue(v) + " ";
-      std::printf("  %s-> %lld\n", row.c_str(),
-                  static_cast<long long>(it.payload()));
-      if (++n >= 50) {
-        std::printf("  ... (output truncated at 50 rows)\n");
-        break;
-      }
-    }
-    std::printf("  (%zu row(s) shown)\n", n);
+      std::printf("  %s-> %lld\n", row.c_str(), static_cast<long long>(p));
+      ++n;
+    });
+    if (total > n) std::printf("  ... (output truncated at 50 rows)\n");
+    std::printf("  (%zu row(s))\n", total);
   }
 
   bool Handle(const std::string& line) {
     if (line.empty()) return true;
     if (line == "quit" || line == "exit") return false;
     if (line == "help") {
-      std::printf("commands: query <def> | +Rel v1 v2 [xN] | -Rel v1 v2 | "
-                  "enum | agg | classify | quit\n");
+      std::printf("commands: query <def> | engine <kind> | +Rel v1 v2 [xN] "
+                  "| -Rel v1 v2 | batch <file> | enum | agg | classify | "
+                  "quit\n");
+      std::printf("engine kinds: eager-fact eager-list lazy-fact lazy-list "
+                  "view-tree\n");
     } else if (line.rfind("query ", 0) == 0) {
       Define(line.substr(6));
+    } else if (line.rfind("engine ", 0) == 0) {
+      SwitchEngine(line.substr(7));
+    } else if (line.rfind("batch ", 0) == 0) {
+      Batch(line.substr(6));
     } else if (line[0] == '+') {
       Update(line.substr(1), +1);
     } else if (line[0] == '-') {
@@ -183,8 +317,8 @@ struct Session {
     } else if (line == "enum") {
       Enumerate();
     } else if (line == "agg") {
-      if (tree) {
-        std::printf("%lld\n", static_cast<long long>(tree->Aggregate()));
+      if (engine) {
+        std::printf("%lld\n", static_cast<long long>(Aggregate()));
       }
     } else if (line == "classify") {
       Classify();

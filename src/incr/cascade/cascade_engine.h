@@ -24,16 +24,17 @@
 #include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/engines/engine.h"
 #include "incr/query/properties.h"
 #include "incr/query/rewriting.h"
 
 namespace incr {
 
 template <RingType R>
-class CascadeEngine {
+class CascadeEngine : public IvmEngine<R> {
  public:
   using RV = typename R::Value;
-  using Sink = std::function<void(const Tuple&, const RV&)>;
+  using typename IvmEngine<R>::Sink;
 
   static StatusOr<CascadeEngine> Make(const Query& q1, const Query& q2) {
     if (!IsQHierarchical(q2)) {
@@ -60,8 +61,14 @@ class CascadeEngine {
     return IsQHierarchical(tree1_.query());
   }
 
+  // IvmEngine: Enumerate() yields Q1's output (the cascade's final answer);
+  // EnumerateQ2 below gives the intermediate Q2 view.
+  const char* name() const override { return "cascade"; }
+
+  size_t Enumerate(const Sink& sink) override { return EnumerateQ1(sink); }
+
   /// Routes a single-tuple delta to Q2's tree and/or Q1''s uncovered atoms.
-  void Update(const std::string& rel, const Tuple& t, const RV& m) {
+  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
     bool found = false;
     for (const Atom& a : tree2_.query().atoms()) {
       if (a.relation == rel) {

@@ -22,11 +22,13 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "incr/core/view_tree_plan.h"
+#include "incr/data/delta.h"
 #include "incr/data/relation.h"
 #include "incr/ring/ring.h"
 #include "incr/util/check.h"
@@ -135,14 +137,40 @@ class ViewTree {
   /// A batch of single-tuple deltas. Because payloads live in a ring,
   /// batches commute: applying any permutation of a batch yields the same
   /// state (paper §2's optimization benefit).
-  struct BatchEntry {
-    size_t atom;
-    Tuple tuple;
-    RV delta;
-  };
+  using BatchEntry = AtomDelta<R>;
 
-  void ApplyBatch(const std::vector<BatchEntry>& batch) {
+  /// The naive baseline: one full bottom-up traversal per tuple. Exposed
+  /// for benchmarking against the node-at-a-time path below.
+  void ApplyBatchPerTuple(std::span<const BatchEntry> batch) {
     for (const BatchEntry& e : batch) UpdateAtom(e.atom, e.tuple, e.delta);
+  }
+
+  /// Applies a batch with node-at-a-time propagation: duplicates are
+  /// pre-summed per atom, and every affected view-tree node is visited
+  /// exactly once, accumulating a grouped delta relation that is handed to
+  /// its parent in one step — O(|batch| + affected-view work) instead of
+  /// |batch| independent walks. The final state is ring-identical to
+  /// sequential per-tuple application (§2 batch commutativity).
+  void ApplyBatch(std::span<const BatchEntry> batch) {
+    if (batch.size() <= 1) {
+      ApplyBatchPerTuple(batch);
+      return;
+    }
+    DeltaBatch<R> merged(atoms_.size());
+    merged.AddAll(batch);
+    ApplyBatch(merged);
+  }
+
+  /// Same, over an already-merged batch.
+  void ApplyBatch(const DeltaBatch<R>& batch) {
+    if (batch.empty()) return;
+    // Pending per-node delta relations over the node's key schema, handed
+    // from each node to its parent (or folded into M at the roots).
+    std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
+    const auto& pre = plan_.vo().preorder();
+    for (size_t k = pre.size(); k-- > 0;) {
+      ProcessNodeBatch(pre[k], batch, &pending);
+    }
   }
 
   /// Delta enumeration (paper §1, footnote 2): applies the update and
@@ -341,6 +369,73 @@ class ViewTree {
     }
   }
 
+  /// Batched counterpart of ProcessDelta: folds every delta source of one
+  /// node (anchored atoms with batch deltas, children with pending delta
+  /// relations) into W_X and a grouped M-delta in a single visit.
+  ///
+  /// Exactness relies on the product rule for a sequence of factor deltas:
+  ///     delta(F_1 ... F_m) = SUM_k F_1' ... F_{k-1}' dF_k F_{k+1} ... F_m
+  /// (primed = post-delta state). Sources are processed in a fixed order;
+  /// each source's merged delta is applied to its own storage *before* its
+  /// program runs, so programs probe already-processed factors at their new
+  /// state and unprocessed ones at their old state — each cross-delta
+  /// interaction is counted exactly once. This is why a child's M is NOT
+  /// updated when the child node is processed: the delta is parked in
+  /// `pending` and folded into M right before the parent consumes it.
+  void ProcessNodeBatch(int node, const DeltaBatch<R>& batch,
+                        std::vector<std::unique_ptr<Relation<R>>>* pending) {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    bool has_work = false;
+    for (size_t a : pn.atoms) has_work |= !batch.of(a).empty();
+    for (int c : pn.children) {
+      has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
+    }
+    if (!has_work) return;
+
+    std::vector<std::pair<Tuple, RV>> w_deltas;
+    for (size_t i = 0; i < pn.atoms.size(); ++i) {
+      const auto& d = batch.of(pn.atoms[i]);
+      if (d.empty()) continue;
+      atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]));
+      for (const auto& e : d) {
+        RunProgram(pn.atom_programs[i], e.key, e.value, pn.w_schema,
+                   &w_deltas);
+      }
+    }
+    for (size_t i = 0; i < pn.children.size(); ++i) {
+      auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
+      if (parked == nullptr) continue;
+      Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
+      for (const auto& e : *parked) cm.Apply(e.key, e.value);
+      for (const auto& e : *parked) {
+        RunProgram(pn.child_programs[i], e.key, e.value, pn.w_schema,
+                   &w_deltas);
+      }
+      parked.reset();
+    }
+    if (w_deltas.empty()) return;
+
+    // Fold W deltas into W_X and group them into the node's M-delta. W is
+    // never probed by delta programs, so its application can safely happen
+    // after all sources ran.
+    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    const Lift& lift = lifts_[static_cast<size_t>(node)];
+    auto m_delta = std::make_unique<Relation<R>>(pn.key);
+    m_delta->Reserve(w_deltas.size());
+    for (auto& [wt, wd] : w_deltas) {
+      w.Apply(wt, wd);
+      Tuple key(wt.data(), pn.key.size());
+      m_delta->Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+    }
+    if (m_delta->empty()) return;
+    if (pn.parent == -1) {
+      Relation<R>& m = *m_[static_cast<size_t>(node)];
+      for (const auto& e : *m_delta) m.Apply(e.key, e.value);
+    } else {
+      (*pending)[static_cast<size_t>(node)] = std::move(m_delta);
+    }
+  }
+
   /// Bulk-builds W and M of one node, assuming its children are built. Uses
   /// the node's first factor program: scan that factor, run the join.
   void BuildNode(int node) {
@@ -357,6 +452,10 @@ class ViewTree {
     }
     Relation<R>& w = *w_[static_cast<size_t>(node)];
     Relation<R>& m = *m_[static_cast<size_t>(node)];
+    // Heuristic pre-sizing (|W_X| ~ |scan| when probes are keyed) to
+    // avoid rehash storms during the bulk build.
+    w.Reserve(scan->size());
+    m.Reserve(scan->size());
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     std::vector<std::pair<Tuple, RV>> w_deltas;
     for (const auto& e : *scan) {

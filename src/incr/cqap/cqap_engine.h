@@ -18,18 +18,19 @@
 #include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/engines/engine.h"
 #include "incr/query/cqap.h"
 #include "incr/util/status.h"
 
 namespace incr {
 
 template <RingType R>
-class CqapEngine {
+class CqapEngine : public IvmEngine<R> {
  public:
   using RV = typename R::Value;
   /// Receives each output tuple (over the CQAP's output schema, in its
   /// declared order) with its payload.
-  using Sink = std::function<void(const Tuple&, const RV&)>;
+  using typename IvmEngine<R>::Sink;
 
   static StatusOr<CqapEngine> Make(const CqapQuery& q) {
     if (!IsTractableCqap(q)) {
@@ -66,9 +67,19 @@ class CqapEngine {
   const CqapQuery& cqap() const { return cqap_; }
   size_t NumComponents() const { return trees_.size(); }
 
+  // IvmEngine: access-request engines answer per-request, so Enumerate()
+  // is only meaningful for CQAPs with no input variables (then it is the
+  // single access Q(); otherwise it returns 0 and callers use Access).
+  const char* name() const override { return "cqap"; }
+
+  size_t Enumerate(const Sink& sink) override {
+    if (!cqap_.input.empty()) return 0;
+    return Access(Tuple{}, sink);
+  }
+
   /// Applies a single-tuple delta to every atom of relation `rel` across
   /// all components. O(1) per atom for tractable CQAPs.
-  void Update(const std::string& rel, const Tuple& t, const RV& m) {
+  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
     bool found = false;
     for (size_t ci = 0; ci < trees_.size(); ++ci) {
       const Query& cq = fracture_.components[ci].query;

@@ -78,6 +78,10 @@ class GroupedIndex {
     return groups_;
   }
 
+  /// Pre-sizes the position map for `n` total entries (bulk insertion).
+  /// Group vectors grow on demand; the position map is the rehash hotspot.
+  void Reserve(size_t n) { positions_.Reserve(n); }
+
   void Clear() {
     groups_.clear();
     positions_.clear();

@@ -51,8 +51,15 @@ Status ReadRelation(std::istream& in, const std::string& expected_name,
   if (arity != rel->schema().size()) {
     return Status::InvalidArgument("arity mismatch for '" + name + "'");
   }
+  // Buffer the parsed rows and apply them as one batch: ApplyBatch
+  // pre-reserves the map and the grouped indexes, so bulk loads avoid the
+  // incremental rehashing of tuple-at-a-time Apply.
+  std::vector<Relation<IntRing>::Entry> rows;
   while (NextLine(in, &line)) {
-    if (line.rfind("end", 0) == 0) return Status::Ok();
+    if (line.rfind("end", 0) == 0) {
+      rel->ApplyBatch(rows);
+      return Status::Ok();
+    }
     std::istringstream row(line);
     Tuple t;
     for (size_t i = 0; i < arity; ++i) {
@@ -65,7 +72,7 @@ Status ReadRelation(std::istream& in, const std::string& expected_name,
     if (row.fail()) {
       return Status::InvalidArgument("malformed row: " + line);
     }
-    rel->Apply(t, payload);
+    rows.push_back({std::move(t), payload});
   }
   return Status::InvalidArgument("missing 'end' for relation " + name);
 }

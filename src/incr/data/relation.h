@@ -6,6 +6,7 @@
 #define INCR_DATA_RELATION_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,49 @@ class Relation {
     }
   }
 
+  /// Bulk delta application. Pre-reserves the map and every grouped index
+  /// for the incoming batch, applies the deltas, and replays the resulting
+  /// insert/erase stream once per index (one index at a time, instead of
+  /// fanning each tuple out across all indexes). Entries may repeat a
+  /// tuple; they are applied in order, so the net effect equals sequential
+  /// Apply() calls.
+  void ApplyBatch(std::span<const Entry> batch) {
+    data_.Reserve(data_.size() + batch.size());
+    if (indexes_.empty()) {
+      for (const Entry& e : batch) ApplyUnindexed(e.key, e.value);
+      return;
+    }
+    // (entry index, is_insert) event stream; tuples are read back from the
+    // batch so no copies are made.
+    std::vector<std::pair<uint32_t, bool>> ops;
+    ops.reserve(batch.size());
+    for (uint32_t i = 0; i < batch.size(); ++i) {
+      const Entry& e = batch[i];
+      if (R::IsZero(e.value)) continue;
+      RV* existing = data_.Find(e.key);
+      if (existing == nullptr) {
+        data_.GetOrInsert(e.key, e.value);
+        ops.emplace_back(i, true);
+        continue;
+      }
+      *existing = R::Add(*existing, e.value);
+      if (R::IsZero(*existing)) {
+        data_.Erase(e.key);
+        ops.emplace_back(i, false);
+      }
+    }
+    for (auto& idx : indexes_) {
+      idx->Reserve(idx->NumEntries() + ops.size());
+      for (const auto& [i, is_insert] : ops) {
+        if (is_insert) {
+          idx->Insert(batch[i].key);
+        } else {
+          idx->Erase(batch[i].key);
+        }
+      }
+    }
+  }
+
   /// Constant-delay iteration over (tuple, payload) entries.
   const Entry* begin() const { return data_.begin(); }
   const Entry* end() const { return data_.end(); }
@@ -82,9 +126,22 @@ class Relation {
     for (auto& idx : indexes_) idx->Clear();
   }
 
+  /// Pre-sizes the underlying DenseMap (and nothing else) for `n` total
+  /// entries; bulk loaders call this to avoid rehash storms.
   void Reserve(size_t n) { data_.Reserve(n); }
 
  private:
+  void ApplyUnindexed(const Tuple& t, const RV& d) {
+    if (R::IsZero(d)) return;
+    RV* existing = data_.Find(t);
+    if (existing == nullptr) {
+      data_.GetOrInsert(t, d);
+      return;
+    }
+    *existing = R::Add(*existing, d);
+    if (R::IsZero(*existing)) data_.Erase(t);
+  }
+
   Schema schema_;
   DenseMap<Tuple, RV, TupleHash, TupleEq> data_;
   std::vector<std::unique_ptr<GroupedIndex>> indexes_;

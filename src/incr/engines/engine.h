@@ -1,0 +1,122 @@
+// IvmEngine<R>: the unified maintenance-engine interface.
+//
+// Every maintenance engine in the library — the four Fig. 4 strategies,
+// the mixed static/dynamic engine (§4.5), the shattered small-domain
+// engine (§4.4), the cascade engine (§4.2), the CQAP access engine (§4.3)
+// and the insert-only engine (§4.6) — implements this interface, so
+// benches, examples, and the REPL can drive any of them uniformly:
+//
+//   * Update(rel, t, d): a single-tuple delta, routed by relation name to
+//     every atom occurrence (realizing the product rule for self-joins);
+//   * ApplyBatch(deltas): a batch of named deltas; the default forwards
+//     tuple-at-a-time, engines with a bulk path (node-at-a-time view-tree
+//     propagation) override it;
+//   * Enumerate(sink): the engine's primary output. Engines that only
+//     maintain an aggregate, or that need per-request inputs (CQAP access
+//     requests), return 0 and expose their richer native calls alongside.
+#ifndef INCR_ENGINES_ENGINE_H_
+#define INCR_ENGINES_ENGINE_H_
+
+#include <functional>
+#include <span>
+#include <string>
+
+#include "incr/core/view_tree.h"
+#include "incr/data/delta.h"
+#include "incr/query/query.h"
+#include "incr/ring/ring.h"
+
+namespace incr {
+
+/// Calls `fn(atom_id)` for every atom of relation `rel`; returns how many
+/// matched. The single name-to-atom routing helper every engine shares.
+template <typename Fn>
+size_t ForEachAtomNamed(const Query& q, const std::string& rel, Fn&& fn) {
+  size_t matched = 0;
+  for (size_t a = 0; a < q.atoms().size(); ++a) {
+    if (q.atoms()[a].relation == rel) {
+      fn(a);
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+template <RingType R>
+class IvmEngine {
+ public:
+  using RV = typename R::Value;
+  using Sink = std::function<void(const Tuple&, const RV&)>;
+  using Batch = std::span<const Delta<R>>;
+
+  virtual ~IvmEngine() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Applies a single-tuple delta to every atom of relation `rel`.
+  virtual void Update(const std::string& rel, const Tuple& t,
+                      const RV& d) = 0;
+
+  /// Applies a batch of deltas. Default: sequential per-tuple application;
+  /// engines with a bulk path override this.
+  virtual void ApplyBatch(Batch batch) {
+    for (const Delta<R>& e : batch) Update(e.relation, e.tuple, e.delta);
+  }
+
+  /// Enumerates the engine's current output; returns the number of tuples.
+  /// Pass a null sink to only count. Aggregate-only and per-request
+  /// engines return 0 (their native calls expose the richer output).
+  virtual size_t Enumerate(const Sink& sink) = 0;
+};
+
+/// The plainest engine: a bare view tree driven eagerly. Unlike
+/// EagerFactStrategy it does not require an enumerable plan — Enumerate()
+/// degrades to 0 for aggregate-only plans — which makes it the universal
+/// fallback for drivers (the REPL uses it for non-hierarchical queries
+/// maintained under a path order).
+template <RingType R>
+class ViewTreeEngine : public IvmEngine<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmEngine<R>::Sink;
+  using typename IvmEngine<R>::Batch;
+
+  explicit ViewTreeEngine(ViewTree<R> tree) : tree_(std::move(tree)) {}
+
+  const char* name() const override { return "view-tree"; }
+
+  void Update(const std::string& rel, const Tuple& t, const RV& d) override {
+    tree_.Update(rel, t, d);
+  }
+
+  void ApplyBatch(Batch batch) override {
+    DeltaBatch<R> merged(tree_.query().atoms().size());
+    for (const Delta<R>& e : batch) {
+      size_t n = ForEachAtomNamed(tree_.query(), e.relation, [&](size_t a) {
+        merged.Add(a, e.tuple, e.delta);
+      });
+      INCR_CHECK(n > 0);
+    }
+    tree_.ApplyBatch(merged);
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    if (!tree_.plan().CanEnumerate().ok()) return 0;
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
+  }
+
+  ViewTree<R>& tree() { return tree_; }
+  const ViewTree<R>& tree() const { return tree_; }
+
+ private:
+  ViewTree<R> tree_;
+};
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_ENGINE_H_

@@ -8,18 +8,21 @@
 #ifndef INCR_ENGINES_MIXED_ENGINE_H_
 #define INCR_ENGINES_MIXED_ENGINE_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/engines/engine.h"
 #include "incr/query/static_dynamic.h"
 
 namespace incr {
 
 template <RingType R>
-class MixedStaticDynamicEngine {
+class MixedStaticDynamicEngine : public IvmEngine<R> {
  public:
   using RV = typename R::Value;
+  using typename IvmEngine<R>::Sink;
 
   static StatusOr<MixedStaticDynamicEngine> Make(
       const Query& q, std::vector<bool> is_static) {
@@ -54,6 +57,30 @@ class MixedStaticDynamicEngine {
     }
     tree_.UpdateAtom(atom_id, t, m);
     return Status::Ok();
+  }
+
+  // IvmEngine: name-routed dynamic updates (updates addressed to a static
+  // atom are a caller bug and CHECK-fail; use UpdateDynamic for the
+  // Status-returning variant) and enumeration when the mixed plan allows
+  // it (aggregate-only plans return 0).
+  const char* name() const override { return "mixed-static-dynamic"; }
+
+  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+    size_t n = ForEachAtomNamed(tree_.query(), rel, [&](size_t a) {
+      Status st = UpdateDynamic(a, t, m);
+      INCR_CHECK(st.ok());
+    });
+    INCR_CHECK(n > 0);
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    if (!tree_.plan().CanEnumerate().ok()) return 0;
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
   }
 
   const ViewTree<R>& tree() const { return tree_; }

@@ -16,21 +16,25 @@
 #define INCR_ENGINES_SHATTERED_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/engines/engine.h"
 #include "incr/query/degree_constraints.h"
 #include "incr/query/properties.h"
 
 namespace incr {
 
 template <RingType R>
-class ShatteredEngine {
+class ShatteredEngine : public IvmEngine<R> {
  public:
   using RV = typename R::Value;
+  using typename IvmEngine<R>::Sink;
   /// Receives (small-variable assignment, residual output tuple, payload).
-  using Sink = std::function<void(const Tuple&, const Tuple&, const RV&)>;
+  using ShardSink =
+      std::function<void(const Tuple&, const Tuple&, const RV&)>;
 
   static StatusOr<ShatteredEngine> Make(const Query& q, Schema small) {
     if (small.empty()) {
@@ -124,7 +128,7 @@ class ShatteredEngine {
   }
 
   /// Enumerates every shard's residual output; returns the tuple count.
-  size_t Enumerate(const Sink& sink) const {
+  size_t Enumerate(const ShardSink& sink) const {
     size_t n = 0;
     for (const auto& entry : shards_) {
       RV scalar = ShardScalar(entry.key);
@@ -136,6 +140,24 @@ class ShatteredEngine {
       }
     }
     return n;
+  }
+
+  // IvmEngine: name-routed updates and flattened enumeration — each output
+  // tuple is the small-variable assignment concatenated with the residual
+  // tuple.
+  const char* name() const override { return "shattered"; }
+
+  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+    size_t n =
+        ForEachAtomNamed(query_, rel, [&](size_t a) { Update(a, t, m); });
+    INCR_CHECK(n > 0);
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    return Enumerate([&](const Tuple& small, const Tuple& rest,
+                         const RV& p) {
+      if (sink) sink(ConcatTuple(small, rest), p);
+    });
   }
 
  private:

@@ -19,52 +19,89 @@
 //   LazyListStrategy   (delta-style recompute): only base relations are
 //                                    maintained; an enumeration request
 //                                    rebuilds the output from scratch.
+//
+// All four implement the unified IvmEngine<R> interface (engine.h) and
+// additionally expose the atom-id addressed Update/ApplyBatch that the
+// benches drive directly. Batches take the node-at-a-time bulk path where
+// the strategy semantics allow it (eager-fact, lazy-*).
 #ifndef INCR_ENGINES_STRATEGIES_H_
 #define INCR_ENGINES_STRATEGIES_H_
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "incr/core/view_tree.h"
+#include "incr/engines/engine.h"
 #include "incr/ring/ring.h"
 
 namespace incr {
 
-/// Common interface of the Fig. 4 strategies.
+/// Common interface of the Fig. 4 strategies: IvmEngine plus atom-id
+/// addressed updates and batches (the internal currency of the benches).
 template <RingType R>
-class IvmStrategy {
+class IvmStrategy : public IvmEngine<R> {
  public:
   using RV = typename R::Value;
-  using Sink = std::function<void(const Tuple&, const RV&)>;
+  using typename IvmEngine<R>::Sink;
+  using AtomBatch = std::span<const AtomDelta<R>>;
 
-  virtual ~IvmStrategy() = default;
+  /// The query the strategy maintains (used for name -> atom routing).
+  virtual const Query& query() const = 0;
 
   /// Applies a single-tuple delta to an atom's relation.
   virtual void Update(size_t atom_id, const Tuple& t, const RV& m) = 0;
 
-  /// Enumerates the full current output; returns the number of tuples.
-  /// Pass a null sink to only count (benchmarks).
-  virtual size_t Enumerate(const Sink& sink) = 0;
+  /// Applies a batch of atom-addressed deltas. Default: per-tuple loop;
+  /// strategies with a bulk path override.
+  virtual void ApplyBatch(AtomBatch batch) {
+    for (const AtomDelta<R>& e : batch) Update(e.atom, e.tuple, e.delta);
+  }
 
-  virtual const char* name() const = 0;
+  // IvmEngine entry points: route relation names to atom occurrences.
+  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+    size_t n =
+        ForEachAtomNamed(query(), rel, [&](size_t a) { Update(a, t, m); });
+    INCR_CHECK(n > 0);
+  }
+
+  void ApplyBatch(typename IvmEngine<R>::Batch batch) override {
+    std::vector<AtomDelta<R>> resolved;
+    resolved.reserve(batch.size());
+    for (const Delta<R>& e : batch) {
+      size_t n = ForEachAtomNamed(query(), e.relation, [&](size_t a) {
+        resolved.push_back({a, e.tuple, e.delta});
+      });
+      INCR_CHECK(n > 0);
+    }
+    ApplyBatch(AtomBatch(resolved));
+  }
 };
 
-/// F-IVM: eager propagation, factorized output.
+/// F-IVM: eager propagation, factorized output. Batches take the
+/// node-at-a-time path through the view tree.
 template <RingType R>
 class EagerFactStrategy : public IvmStrategy<R> {
  public:
   using RV = typename R::Value;
   using typename IvmStrategy<R>::Sink;
+  using typename IvmStrategy<R>::AtomBatch;
+  using IvmStrategy<R>::Update;
+  using IvmStrategy<R>::ApplyBatch;
 
   explicit EagerFactStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  const Query& query() const override { return tree_.query(); }
+
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.UpdateAtom(atom_id, t, m);
   }
+
+  void ApplyBatch(AtomBatch batch) override { tree_.ApplyBatch(batch); }
 
   size_t Enumerate(const Sink& sink) override {
     size_t n = 0;
@@ -86,17 +123,22 @@ class EagerFactStrategy : public IvmStrategy<R> {
 /// DBToaster-style: eager propagation plus a materialized output list,
 /// refreshed per update by enumerating the affected output tuples (those
 /// agreeing with the update on the atom's free variables) before and after
-/// the propagation.
+/// the propagation. Batches stay per-tuple: the output list must observe
+/// every intermediate output state, so there is no bulk shortcut.
 template <RingType R>
 class EagerListStrategy : public IvmStrategy<R> {
  public:
   using RV = typename R::Value;
   using typename IvmStrategy<R>::Sink;
+  using IvmStrategy<R>::Update;
+  using IvmStrategy<R>::ApplyBatch;
 
   explicit EagerListStrategy(ViewTree<R> tree)
       : tree_(std::move(tree)), out_(tree_.OutputSchema()) {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
+
+  const Query& query() const override { return tree_.query(); }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.UpdateAtomWithDeltaEnum(
@@ -125,26 +167,32 @@ class EagerListStrategy : public IvmStrategy<R> {
 };
 
 /// Hybrid of F-IVM and delta queries: buffer updates, flush through the
-/// view tree on demand, enumerate factorized.
+/// view tree on demand, enumerate factorized. The flush itself is one
+/// node-at-a-time batch.
 template <RingType R>
 class LazyFactStrategy : public IvmStrategy<R> {
  public:
   using RV = typename R::Value;
   using typename IvmStrategy<R>::Sink;
+  using typename IvmStrategy<R>::AtomBatch;
+  using IvmStrategy<R>::Update;
+  using IvmStrategy<R>::ApplyBatch;
 
   explicit LazyFactStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  const Query& query() const override { return tree_.query(); }
+
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
-    buffer_.push_back({atom_id, t, m});
+    buffer_.Add(atom_id, t, m);
   }
 
+  void ApplyBatch(AtomBatch batch) override { buffer_.AddAll(batch); }
+
   size_t Enumerate(const Sink& sink) override {
-    for (const auto& u : buffer_) {
-      tree_.UpdateAtom(u.atom, u.tuple, u.delta);
-    }
-    buffer_.clear();
+    tree_.ApplyBatch(buffer_);
+    buffer_.Clear();
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
       if (sink) sink(it.tuple(), it.payload());
@@ -156,13 +204,8 @@ class LazyFactStrategy : public IvmStrategy<R> {
   const char* name() const override { return "lazy-fact"; }
 
  private:
-  struct Pending {
-    size_t atom;
-    Tuple tuple;
-    RV delta;
-  };
   ViewTree<R> tree_;
-  std::vector<Pending> buffer_;
+  DeltaBatch<R> buffer_;
 };
 
 /// Delta-query recomputation: maintain only the base relations (O(1) per
@@ -173,10 +216,15 @@ class LazyListStrategy : public IvmStrategy<R> {
  public:
   using RV = typename R::Value;
   using typename IvmStrategy<R>::Sink;
+  using typename IvmStrategy<R>::AtomBatch;
+  using IvmStrategy<R>::Update;
+  using IvmStrategy<R>::ApplyBatch;
 
   explicit LazyListStrategy(ViewTree<R> tree) : tree_(std::move(tree)) {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
+
+  const Query& query() const override { return tree_.query(); }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.LoadAtom(atom_id, t, m);  // base relation only, no propagation

@@ -23,15 +23,17 @@
 
 #include "incr/data/grouped_index.h"
 #include "incr/data/relation.h"
+#include "incr/engines/engine.h"
 #include "incr/query/query.h"
+#include "incr/ring/int_ring.h"
 #include "incr/util/status.h"
 
 namespace incr {
 
-class InsertOnlyEngine {
+class InsertOnlyEngine : public IvmEngine<IntRing> {
  public:
   /// Receives each output tuple over q.AllVars() with its multiplicity.
-  using Sink = std::function<void(const Tuple&, int64_t)>;
+  using Sink = IvmEngine<IntRing>::Sink;
 
   /// `q` must be alpha-acyclic with every variable free (a join query).
   static StatusOr<InsertOnlyEngine> Make(const Query& q);
@@ -49,6 +51,19 @@ class InsertOnlyEngine {
 
   /// Enumerates the full join output; returns the number of tuples.
   size_t Enumerate(const Sink& sink) const;
+
+  // IvmEngine: deltas must be inserts (m > 0); deletions are outside this
+  // engine's regime (the point of §4.6).
+  const char* name() const override { return "insert-only"; }
+
+  void Update(const std::string& rel, const Tuple& t,
+              const int64_t& m) override {
+    Insert(rel, t, m);
+  }
+
+  size_t Enumerate(const Sink& sink) override {
+    return static_cast<const InsertOnlyEngine*>(this)->Enumerate(sink);
+  }
 
   /// Total structural work performed by activations so far; the benchmark
   /// divides this by the number of inserts to exhibit the amortized-O(1)

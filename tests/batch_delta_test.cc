@@ -1,12 +1,16 @@
-// Batch commutativity (paper §2) and delta enumeration (paper §1,
+// Batch commutativity (paper §2), node-at-a-time batch application vs
+// sequential per-tuple application, and delta enumeration (paper §1,
 // footnote 2) tests.
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "incr/core/view_tree.h"
+#include "incr/ring/covar_ring.h"
 #include "incr/ring/int_ring.h"
+#include "incr/ring/product_ring.h"
 #include "incr/util/rng.h"
 
 namespace incr {
@@ -17,6 +21,58 @@ enum : Var { A = 0, B = 1, C = 2 };
 Query TheQuery() {
   return Query("Q", Schema{A, B, C},
                {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+}
+
+// Non-q-hierarchical: Q(A) = SUM_B R(A,B) * S(B), path order A -> B.
+Query FanoutQuery() {
+  return Query("Q", Schema{A}, {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+}
+
+// Cyclic: the triangle Q() = R(A,B), S(B,C), T(C,A), path order A -> B -> C.
+Query TriangleQuery() {
+  return Query("Q", Schema{},
+               {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+                Atom{"T", Schema{C, A}}});
+}
+
+// Every W and M view of both trees must hold ring-identical payloads —
+// the strongest form of the "batch = sequence" equivalence.
+template <RingType R>
+void ExpectViewsIdentical(const ViewTree<R>& a, const ViewTree<R>& b) {
+  for (size_t n = 0; n < a.plan().nodes().size(); ++n) {
+    const Relation<R>& wa = a.NodeW(static_cast<int>(n));
+    const Relation<R>& wb = b.NodeW(static_cast<int>(n));
+    ASSERT_EQ(wa.size(), wb.size()) << "W of node " << n;
+    for (const auto& e : wa) ASSERT_EQ(wb.Payload(e.key), e.value);
+    const Relation<R>& ma = a.NodeM(static_cast<int>(n));
+    const Relation<R>& mb = b.NodeM(static_cast<int>(n));
+    ASSERT_EQ(ma.size(), mb.size()) << "M of node " << n;
+    for (const auto& e : ma) ASSERT_EQ(mb.Payload(e.key), e.value);
+  }
+}
+
+// Applies random batches of `draw`n deltas to two identically-built trees,
+// node-at-a-time on one and per-tuple on the other, checking every view
+// after every batch.
+template <RingType R, typename DrawFn>
+void CheckBatchVsSequential(const Query& q, const VariableOrder* vo,
+                            DrawFn&& draw, uint64_t seed) {
+  auto make = [&] {
+    auto t = vo == nullptr ? ViewTree<R>::Make(q) : ViewTree<R>::Make(q, *vo);
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  ViewTree<R> batched = make();
+  ViewTree<R> sequential = make();
+  Rng rng(seed);
+  for (size_t size : {1u, 7u, 40u, 200u}) {
+    std::vector<typename ViewTree<R>::BatchEntry> batch;
+    for (size_t i = 0; i < size; ++i) batch.push_back(draw(rng));
+    batched.ApplyBatch(
+        std::span<const typename ViewTree<R>::BatchEntry>(batch));
+    sequential.ApplyBatchPerTuple(batch);
+    ExpectViewsIdentical(batched, sequential);
+  }
 }
 
 TEST(BatchTest, BatchesCommute) {
@@ -48,6 +104,116 @@ TEST(BatchTest, BatchesCommute) {
       for (const auto& e : wa) ASSERT_EQ(wb.Payload(e.key), e.value);
     }
   }
+}
+
+TEST(BatchTest, BatchEqualsSequentialIntRing) {
+  CheckBatchVsSequential<IntRing>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            rng.Chance(0.4) ? -1 : 2};
+      },
+      11);
+}
+
+TEST(BatchTest, BatchEqualsSequentialProductRing) {
+  // Count and doubled-count maintained in one pass.
+  using PR = ProductRing<IntRing, IntRing>;
+  CheckBatchVsSequential<PR>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        int64_t m = rng.Chance(0.4) ? -1 : 1;
+        return ViewTree<PR>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            {m, 2 * m}};
+      },
+      12);
+}
+
+TEST(BatchTest, BatchEqualsSequentialCovarRing) {
+  // Degree-2 statistics payloads: lifted feature values and retractions.
+  using CR = CovarRing<2>;
+  CheckBatchVsSequential<CR>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        CR::Value v = CR::Lift(rng.Uniform(2),
+                               static_cast<double>(rng.UniformInt(1, 9)));
+        return ViewTree<CR>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            rng.Chance(0.3) ? CR::Neg(v) : v};
+      },
+      13);
+}
+
+TEST(BatchTest, BatchEqualsSequentialNonQHierarchical) {
+  // The fan-out query under a path order: a merged S(b) delta feeds one
+  // program run where the per-tuple loop runs many; views must agree.
+  Query q = FanoutQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  CheckBatchVsSequential<IntRing>(
+      q, &*vo,
+      [](Rng& rng) {
+        if (rng.Chance(0.5)) {
+          return ViewTree<IntRing>::BatchEntry{
+              0, Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 3)}, 1};
+        }
+        // Hot S keys: guaranteed duplicates inside every sizable batch.
+        return ViewTree<IntRing>::BatchEntry{
+            1, Tuple{rng.UniformInt(0, 3)}, rng.Chance(0.4) ? -1 : 1};
+      },
+      14);
+}
+
+TEST(BatchTest, BatchEqualsSequentialTriangle) {
+  // Cyclic query: every atom anchors below the others' variables, so the
+  // node-at-a-time pass exercises multi-atom nodes and child deferral.
+  Query q = TriangleQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  CheckBatchVsSequential<IntRing>(
+      q, &*vo,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(3), Tuple{rng.UniformInt(0, 4), rng.UniformInt(0, 4)},
+            rng.Chance(0.4) ? -1 : 1};
+      },
+      15);
+}
+
+TEST(BatchTest, SelfCancellingBatchIsNoOp) {
+  // A batch whose deltas sum to zero per tuple merges to nothing and must
+  // leave every view exactly as it was.
+  auto make = [] {
+    auto t = ViewTree<IntRing>::Make(TheQuery());
+    EXPECT_TRUE(t.ok());
+    Rng rng(16);
+    for (int i = 0; i < 100; ++i) {
+      t->UpdateAtom(rng.Uniform(2),
+                    Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)}, 1);
+    }
+    return *std::move(t);
+  };
+  ViewTree<IntRing> tree = make();
+  ViewTree<IntRing> untouched = make();
+  Rng rng(17);
+  std::vector<ViewTree<IntRing>::BatchEntry> batch;
+  for (int i = 0; i < 50; ++i) {
+    ViewTree<IntRing>::BatchEntry e{
+        rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+        rng.UniformInt(1, 3)};
+    ViewTree<IntRing>::BatchEntry neg = e;
+    neg.delta = -neg.delta;
+    batch.push_back(e);
+    batch.push_back(neg);
+  }
+  tree.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+  ExpectViewsIdentical(tree, untouched);
+  // And per-tuple application of the same batch agrees too.
+  ViewTree<IntRing> sequential = make();
+  sequential.ApplyBatchPerTuple(batch);
+  ExpectViewsIdentical(sequential, untouched);
 }
 
 TEST(DeltaEnumTest, ReportsAppearedChangedDisappeared) {

@@ -21,7 +21,7 @@ class JsonArrayWriter {
   void BeginObject() { fields_.clear(); }
 
   void Field(const std::string& key, const std::string& value) {
-    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+    fields_.push_back("\"" + key + "\": \"" + Escape(value) + "\"");
   }
   void Field(const std::string& key, double value) {
     char buf[64];
@@ -56,6 +56,17 @@ class JsonArrayWriter {
   }
 
  private:
+  // Escapes '"' and '\' so arbitrary query/engine names stay valid JSON.
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
   std::vector<std::string> fields_;
   std::vector<std::string> objects_;
 };

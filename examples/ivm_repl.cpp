@@ -13,6 +13,10 @@
 //   batch <file>                         apply a file of deltas as one
 //                                        batch: `Rel v1 .. vn [xN]` per
 //                                        line, optional +/- prefix
+//   threads <n>                          batch maintenance on n threads
+//                                        (1 = sequential, 0 = hardware;
+//                                        results are thread-count
+//                                        independent)
 //   enum                                 enumerate the current output
 //   agg                                  the full aggregate (count)
 //   classify                             structural report for the query
@@ -48,6 +52,7 @@ struct Session {
   std::optional<Query> query;
   std::unique_ptr<IvmEngine<IntRing>> engine;
   std::string kind = "eager-fact";
+  size_t threads = 1;  // persists across engine rebuilds
   Schema out_schema;  // free vars in the tree's enumeration order
   bool plan_o1_updates = false;
   bool plan_can_enum = false;
@@ -103,7 +108,21 @@ struct Session {
     } else {
       return Status::InvalidArgument("unknown engine kind '" + kind + "'");
     }
+    engine->SetThreads(threads);
     return Status::Ok();
+  }
+
+  void SetThreads(const std::string& arg) {
+    char* end = nullptr;
+    long n = std::strtol(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || n < 0) {
+      std::printf("usage: threads <n>  (0 = hardware default)\n");
+      return;
+    }
+    threads = static_cast<size_t>(n);
+    if (engine) engine->SetThreads(threads);
+    std::printf("batch maintenance threads: %zu%s\n", threads,
+                threads == 0 ? " (hardware default)" : "");
   }
 
   void Classify() {
@@ -300,8 +319,8 @@ struct Session {
     if (line == "quit" || line == "exit") return false;
     if (line == "help") {
       std::printf("commands: query <def> | engine <kind> | +Rel v1 v2 [xN] "
-                  "| -Rel v1 v2 | batch <file> | enum | agg | classify | "
-                  "quit\n");
+                  "| -Rel v1 v2 | batch <file> | threads <n> | enum | agg | "
+                  "classify | quit\n");
       std::printf("engine kinds: eager-fact eager-list lazy-fact lazy-list "
                   "view-tree\n");
     } else if (line.rfind("query ", 0) == 0) {
@@ -310,6 +329,8 @@ struct Session {
       SwitchEngine(line.substr(7));
     } else if (line.rfind("batch ", 0) == 0) {
       Batch(line.substr(6));
+    } else if (line.rfind("threads ", 0) == 0) {
+      SetThreads(line.substr(8));
     } else if (line[0] == '+') {
       Update(line.substr(1), +1);
     } else if (line[0] == '-') {

@@ -30,9 +30,12 @@
 #include "incr/core/view_tree_plan.h"
 #include "incr/data/delta.h"
 #include "incr/data/relation.h"
+#include "incr/data/sharded_relation.h"
 #include "incr/ring/ring.h"
 #include "incr/util/check.h"
+#include "incr/util/hash.h"
 #include "incr/util/status.h"
+#include "incr/util/thread_pool.h"
 
 namespace incr {
 
@@ -70,12 +73,21 @@ class ViewTree {
     }
     const auto& nodes = plan_.nodes();
     lifts_.resize(nodes.size());
+    atom_sharding_.resize(nodes.size());
+    child_sharding_.resize(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
-      w_.push_back(std::make_unique<Relation<R>>(nodes[i].w_schema));
+      w_.push_back(std::make_unique<ShardedRelation<R>>(nodes[i].w_schema,
+                                                        nodes[i].key.size()));
       w_.back()->AddIndex(nodes[i].key);  // index 0: group by key
       m_.push_back(std::make_unique<Relation<R>>(nodes[i].key));
       for (const Schema& key : plan_.m_indexes()[i]) {
         m_.back()->AddIndex(key);
+      }
+      for (const DeltaProgram& p : nodes[i].atom_programs) {
+        atom_sharding_[i].push_back(ComputeSharding(p, nodes[i].key.size()));
+      }
+      for (const DeltaProgram& p : nodes[i].child_programs) {
+        child_sharding_[i].push_back(ComputeSharding(p, nodes[i].key.size()));
       }
     }
   }
@@ -95,6 +107,34 @@ class ViewTree {
 
   const ViewTreePlan& plan() const { return plan_; }
   const Query& query() const { return plan_.query(); }
+
+  /// Shard count used by the parallel batch path. Fixed (not derived from
+  /// the thread count) so that results are invariant under the number of
+  /// threads: the partition of work is always the same, threads only decide
+  /// who executes each shard.
+  static constexpr size_t kDefaultDeltaShards = 16;
+
+  /// Configures parallel batch maintenance: `threads` total threads
+  /// (0 = ThreadPool::DefaultThreads()), data-parallel over `shards` hash
+  /// shards (0 = kDefaultDeltaShards). threads == 1 restores the exact
+  /// sequential path (single-shard W layout, no pool). W views are
+  /// resharded in place — O(total W size) — so call this before bulk work.
+  /// Single-tuple Update()s are unaffected either way.
+  void SetThreads(size_t threads, size_t shards = 0) {
+    if (threads == 0) threads = ThreadPool::DefaultThreads();
+    if (threads <= 1) {
+      pool_.reset();
+      shards_ = 1;
+    } else {
+      pool_ = std::make_unique<ThreadPool>(threads);
+      shards_ = shards == 0 ? kDefaultDeltaShards : shards;
+    }
+    for (auto& w : w_) w->Reshard(shards_);
+  }
+
+  /// The pool driving parallel batches; nullptr in sequential mode.
+  ThreadPool* pool() const { return pool_.get(); }
+  size_t num_shards() const { return shards_; }
 
   /// Sets the lifting function of variable `v`. Must be called while the
   /// tree is empty (lifted values are baked into the M views).
@@ -161,7 +201,9 @@ class ViewTree {
     ApplyBatch(merged);
   }
 
-  /// Same, over an already-merged batch.
+  /// Same, over an already-merged batch. With SetThreads(>1) this runs the
+  /// shard-parallel path; results are ring-identical to the sequential path
+  /// and invariant under the thread count (see ProcessNodeBatchParallel).
   void ApplyBatch(const DeltaBatch<R>& batch) {
     if (batch.empty()) return;
     // Pending per-node delta relations over the node's key schema, handed
@@ -169,7 +211,11 @@ class ViewTree {
     std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
     const auto& pre = plan_.vo().preorder();
     for (size_t k = pre.size(); k-- > 0;) {
-      ProcessNodeBatch(pre[k], batch, &pending);
+      if (pool_ == nullptr) {
+        ProcessNodeBatch(pre[k], batch, &pending);
+      } else {
+        ProcessNodeBatchParallel(pre[k], batch, &pending);
+      }
     }
   }
 
@@ -242,7 +288,7 @@ class ViewTree {
   const Relation<R>& AtomRelation(size_t atom_id) const {
     return *atoms_[atom_id];
   }
-  const Relation<R>& NodeW(int node) const {
+  const ShardedRelation<R>& NodeW(int node) const {
     return *w_[static_cast<size_t>(node)];
   }
   const Relation<R>& NodeM(int node) const {
@@ -338,7 +384,7 @@ class ViewTree {
     RunProgram(prog, src, d, pn.w_schema, &w_deltas);
     if (w_deltas.empty()) return;
 
-    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
     Relation<R>& m = *m_[static_cast<size_t>(node)];
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     const DeltaProgram* up = UpProgram(node);
@@ -418,7 +464,7 @@ class ViewTree {
     // Fold W deltas into W_X and group them into the node's M-delta. W is
     // never probed by delta programs, so its application can safely happen
     // after all sources ran.
-    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     auto m_delta = std::make_unique<Relation<R>>(pn.key);
     m_delta->Reserve(w_deltas.size());
@@ -436,6 +482,173 @@ class ViewTree {
     }
   }
 
+  /// How a node's delta source maps onto the shard partition of the node's
+  /// key space. by_key holds iff the source tuple determines every key
+  /// column of the node (its program binds all key slots from the source),
+  /// in which case key_cols[k] is the source column providing key slot k.
+  struct SourceSharding {
+    bool by_key = false;
+    SmallVector<uint32_t, 4> key_cols;
+  };
+
+  static SourceSharding ComputeSharding(const DeltaProgram& prog,
+                                        size_t key_size) {
+    SourceSharding s;
+    s.key_cols.resize(key_size, 0);
+    SmallVector<uint32_t, 4> found;
+    found.resize(key_size, 0);
+    for (size_t i = 0; i < prog.source_slots.size(); ++i) {
+      uint32_t slot = prog.source_slots[i];
+      if (slot < key_size) {
+        s.key_cols[slot] = static_cast<uint32_t>(i);
+        found[slot] = 1;
+      }
+    }
+    s.by_key = true;
+    for (size_t k = 0; k < key_size; ++k) s.by_key &= found[k] != 0;
+    return s;
+  }
+
+  /// Shard-parallel counterpart of ProcessNodeBatch. Same product-rule
+  /// source order and the same fold, decomposed over `shards_` hash shards
+  /// of the node's key space so that threads never share a DenseMap:
+  ///
+  ///   1. The source's own storage is updated first (map mutation is
+  ///      sequential; grouped-index replay is pool-parallel per index).
+  ///   2. The source's program runs data-parallel, partitioned either ByKey
+  ///      (when the source determines the node key, so source shard s can
+  ///      emit straight into W-delta bucket s) or ByRange (contiguous
+  ///      chunks whose emissions are scattered into per-chunk buckets and
+  ///      gathered per shard in chunk order).
+  ///   3. After all sources, shard s folds bucket s into W shard s and a
+  ///      shard-local M-delta; the M-deltas are merged sequentially in
+  ///      shard order (they have pairwise disjoint keys).
+  ///
+  /// Determinism: bucket s always receives exactly the subsequence of the
+  /// sequential w_deltas whose key hashes to shard s, in sequential order —
+  /// the partition depends only on shards_ (fixed), never on the thread
+  /// count or schedule. Per W-tuple and per M-key, the ring-operation
+  /// sequence is therefore identical to the sequential path, so payloads
+  /// match bit-for-bit even for non-associative float rings.
+  void ProcessNodeBatchParallel(
+      int node, const DeltaBatch<R>& batch,
+      std::vector<std::unique_ptr<Relation<R>>>* pending) {
+    const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
+    bool has_work = false;
+    for (size_t a : pn.atoms) has_work |= !batch.of(a).empty();
+    for (int c : pn.children) {
+      has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
+    }
+    if (!has_work) return;
+
+    const size_t S = shards_;
+    ThreadPool* pool = pool_.get();
+    const size_t key_size = pn.key.size();
+    std::vector<std::vector<std::pair<Tuple, RV>>> buckets(S);
+
+    auto shard_of_w = [&](const Tuple& wt) {
+      return ShardOfHash(
+          HashSpan64(reinterpret_cast<const uint64_t*>(wt.data()), key_size),
+          S);
+    };
+    auto run_source = [&](const DeltaProgram& prog, const SourceSharding& ss,
+                          std::span<const typename DeltaBatch<R>::Entry>
+                              entries) {
+      if (ss.by_key) {
+        // Source shard s touches only node keys of shard s, so it can emit
+        // directly into bucket s: the same hash partitions both sides.
+        auto parts = DeltaShards<R>::ByKey(
+            entries, {ss.key_cols.data(), ss.key_cols.size()}, S);
+        pool->ParallelFor(S, [&](size_t s) {
+          for (const auto& e : parts.shard(s)) {
+            RunProgram(prog, e.key, e.value, pn.w_schema, &buckets[s]);
+          }
+        });
+        return;
+      }
+      // Fallback: contiguous chunks; chunk c scatters its emissions into
+      // per-chunk shard buckets, then shard s gathers chunk buckets in
+      // chunk order — which is exactly the sequential emission order
+      // restricted to shard s.
+      auto parts = DeltaShards<R>::ByRange(entries, S);
+      std::vector<std::vector<std::vector<std::pair<Tuple, RV>>>> chunk_out(
+          S, std::vector<std::vector<std::pair<Tuple, RV>>>(S));
+      pool->ParallelFor(S, [&](size_t c) {
+        std::vector<std::pair<Tuple, RV>> emitted;
+        for (const auto& e : parts.shard(c)) {
+          RunProgram(prog, e.key, e.value, pn.w_schema, &emitted);
+        }
+        for (auto& [wt, wd] : emitted) {
+          chunk_out[c][shard_of_w(wt)].emplace_back(std::move(wt),
+                                                    std::move(wd));
+        }
+      });
+      pool->ParallelFor(S, [&](size_t s) {
+        for (size_t c = 0; c < S; ++c) {
+          for (auto& wd : chunk_out[c][s]) buckets[s].push_back(std::move(wd));
+        }
+      });
+    };
+
+    for (size_t i = 0; i < pn.atoms.size(); ++i) {
+      const auto& d = batch.of(pn.atoms[i]);
+      if (d.empty()) continue;
+      atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]), pool);
+      run_source(pn.atom_programs[i],
+                 atom_sharding_[static_cast<size_t>(node)][i],
+                 batch.entries(pn.atoms[i]));
+    }
+    for (size_t i = 0; i < pn.children.size(); ++i) {
+      auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
+      if (parked == nullptr) continue;
+      Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
+      std::span<const typename Relation<R>::Entry> entries(parked->begin(),
+                                                           parked->size());
+      cm.ApplyBatch(entries, pool);
+      run_source(pn.child_programs[i],
+                 child_sharding_[static_cast<size_t>(node)][i], entries);
+      parked.reset();
+    }
+    bool any = false;
+    for (const auto& b : buckets) any |= !b.empty();
+    if (!any) return;
+
+    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
+    INCR_DCHECK(w.num_shards() == S);
+    const Lift& lift = lifts_[static_cast<size_t>(node)];
+    std::vector<Relation<R>> m_shards;
+    m_shards.reserve(S);
+    for (size_t s = 0; s < S; ++s) m_shards.emplace_back(pn.key);
+    pool->ParallelFor(S, [&](size_t s) {
+      Relation<R>& ws = w.shard(s);
+      Relation<R>& md = m_shards[s];
+      md.Reserve(buckets[s].size());
+      for (auto& [wt, wd] : buckets[s]) {
+        ws.Apply(wt, wd);
+        Tuple key(wt.data(), key_size);
+        md.Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+      }
+    });
+    size_t total = 0;
+    for (const Relation<R>& md : m_shards) total += md.size();
+    if (total == 0) return;
+    if (pn.parent == -1) {
+      Relation<R>& m = *m_[static_cast<size_t>(node)];
+      for (const Relation<R>& md : m_shards) {
+        for (const auto& e : md) m.Apply(e.key, e.value);
+      }
+    } else {
+      // O(shards · merge cursor) concatenation: shard keys are disjoint,
+      // so every Apply is a fresh insert.
+      auto merged = std::make_unique<Relation<R>>(pn.key);
+      merged->Reserve(total);
+      for (const Relation<R>& md : m_shards) {
+        for (const auto& e : md) merged->Apply(e.key, e.value);
+      }
+      (*pending)[static_cast<size_t>(node)] = std::move(merged);
+    }
+  }
+
   /// Bulk-builds W and M of one node, assuming its children are built. Uses
   /// the node's first factor program: scan that factor, run the join.
   void BuildNode(int node) {
@@ -450,7 +663,7 @@ class ViewTree {
       prog = &pn.child_programs[0];
       scan = m_[static_cast<size_t>(pn.children[0])].get();
     }
-    Relation<R>& w = *w_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
     Relation<R>& m = *m_[static_cast<size_t>(node)];
     // Heuristic pre-sizing (|W_X| ~ |scan| when probes are keyed) to
     // avoid rehash storms during the bulk build.
@@ -471,9 +684,14 @@ class ViewTree {
 
   ViewTreePlan plan_;
   std::vector<std::unique_ptr<Relation<R>>> atoms_;
-  std::vector<std::unique_ptr<Relation<R>>> w_;
+  std::vector<std::unique_ptr<ShardedRelation<R>>> w_;
   std::vector<std::unique_ptr<Relation<R>>> m_;
   std::vector<Lift> lifts_;
+  /// Per node, per anchored atom / per child: how that source partitions.
+  std::vector<std::vector<SourceSharding>> atom_sharding_;
+  std::vector<std::vector<SourceSharding>> child_sharding_;
+  std::unique_ptr<ThreadPool> pool_;  // null: sequential batch path
+  size_t shards_ = 1;
 };
 
 // ----------------------------------------------------------------------
@@ -605,7 +823,7 @@ class ViewTreeEnumerator {
   bool TryFirst(size_t i) {
     NodeState& st = states_[i];
     Tuple key = KeyOf(i);
-    const Relation<R>& w = tree_->NodeW(st.node);
+    const ShardedRelation<R>& w = tree_->NodeW(st.node);
     if (st.bound) {
       Tuple probe = key;
       probe.push_back(st.bound_value);
@@ -614,7 +832,7 @@ class ViewTreeEnumerator {
       st.current = st.bound_value;
       return true;
     }
-    st.group = w.index(0).Group(key);
+    st.group = w.GroupByKey(0, key);
     if (st.group == nullptr) return false;
     st.pos = 0;
     st.current = (*st.group)[0].back();

@@ -15,6 +15,7 @@
 #include "incr/data/schema.h"
 #include "incr/data/tuple.h"
 #include "incr/ring/ring.h"
+#include "incr/util/thread_pool.h"
 
 namespace incr {
 
@@ -61,8 +62,10 @@ class Relation {
   /// insert/erase stream once per index (one index at a time, instead of
   /// fanning each tuple out across all indexes). Entries may repeat a
   /// tuple; they are applied in order, so the net effect equals sequential
-  /// Apply() calls.
-  void ApplyBatch(std::span<const Entry> batch) {
+  /// Apply() calls. With a pool, the per-index replays run in parallel —
+  /// indexes are independent of one another and the op stream is fixed by
+  /// then, so this is safe and deterministic.
+  void ApplyBatch(std::span<const Entry> batch, ThreadPool* pool = nullptr) {
     data_.Reserve(data_.size() + batch.size());
     if (indexes_.empty()) {
       for (const Entry& e : batch) ApplyUnindexed(e.key, e.value);
@@ -72,6 +75,7 @@ class Relation {
     // batch so no copies are made.
     std::vector<std::pair<uint32_t, bool>> ops;
     ops.reserve(batch.size());
+    size_t inserts = 0;
     for (uint32_t i = 0; i < batch.size(); ++i) {
       const Entry& e = batch[i];
       if (R::IsZero(e.value)) continue;
@@ -79,6 +83,7 @@ class Relation {
       if (existing == nullptr) {
         data_.GetOrInsert(e.key, e.value);
         ops.emplace_back(i, true);
+        ++inserts;
         continue;
       }
       *existing = R::Add(*existing, e.value);
@@ -87,15 +92,23 @@ class Relation {
         ops.emplace_back(i, false);
       }
     }
-    for (auto& idx : indexes_) {
-      idx->Reserve(idx->NumEntries() + ops.size());
+    auto replay = [&](size_t k) {
+      GroupedIndex& idx = *indexes_[k];
+      // Reserve only for the inserts: a delete-heavy batch must not grow
+      // the index tables it is about to shrink.
+      idx.Reserve(idx.NumEntries() + inserts);
       for (const auto& [i, is_insert] : ops) {
         if (is_insert) {
-          idx->Insert(batch[i].key);
+          idx.Insert(batch[i].key);
         } else {
-          idx->Erase(batch[i].key);
+          idx.Erase(batch[i].key);
         }
       }
+    };
+    if (pool != nullptr && indexes_.size() > 1) {
+      pool->ParallelFor(indexes_.size(), replay);
+    } else {
+      for (size_t k = 0; k < indexes_.size(); ++k) replay(k);
     }
   }
 

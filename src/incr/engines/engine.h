@@ -17,14 +17,18 @@
 #ifndef INCR_ENGINES_ENGINE_H_
 #define INCR_ENGINES_ENGINE_H_
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "incr/core/view_tree.h"
 #include "incr/data/delta.h"
 #include "incr/query/query.h"
 #include "incr/ring/ring.h"
+#include "incr/util/thread_pool.h"
 
 namespace incr {
 
@@ -40,6 +44,44 @@ size_t ForEachAtomNamed(const Query& q, const std::string& rel, Fn&& fn) {
     }
   }
   return matched;
+}
+
+/// Merges a named-delta batch into an atom-addressed DeltaBatch, fanning
+/// each delta out to every atom occurrence of its relation (the product
+/// rule for self-joins). When `tree` runs parallel, the merge itself is
+/// parallel too: the input is cut into a fixed number of contiguous chunks,
+/// each chunk builds a thread-local DeltaBatch, and the chunks merge in
+/// input order — per (atom, tuple) the ring additions still happen in input
+/// order, so the result is identical to a sequential merge.
+template <RingType R>
+DeltaBatch<R> MergeNamedBatch(const ViewTree<R>& tree,
+                              std::span<const Delta<R>> batch) {
+  const Query& q = tree.query();
+  DeltaBatch<R> merged(q.atoms().size());
+  auto add_range = [&](DeltaBatch<R>* out, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Delta<R>& e = batch[i];
+      size_t n = ForEachAtomNamed(
+          q, e.relation, [&](size_t a) { out->Add(a, e.tuple, e.delta); });
+      INCR_CHECK(n > 0);
+    }
+  };
+  ThreadPool* pool = tree.pool();
+  constexpr size_t kChunks = ViewTree<R>::kDefaultDeltaShards;
+  if (pool == nullptr || batch.size() < 2 * kChunks) {
+    add_range(&merged, 0, batch.size());
+    return merged;
+  }
+  std::vector<DeltaBatch<R>> locals(kChunks, DeltaBatch<R>(q.atoms().size()));
+  size_t per = batch.size() / kChunks;
+  size_t extra = batch.size() % kChunks;
+  pool->ParallelFor(kChunks, [&](size_t c) {
+    size_t begin = c * per + std::min(c, extra);
+    size_t end = begin + per + (c < extra ? 1 : 0);
+    add_range(&locals[c], begin, end);
+  });
+  for (const DeltaBatch<R>& local : locals) merged.MergeFrom(local);
+  return merged;
 }
 
 template <RingType R>
@@ -62,6 +104,12 @@ class IvmEngine {
   virtual void ApplyBatch(Batch batch) {
     for (const Delta<R>& e : batch) Update(e.relation, e.tuple, e.delta);
   }
+
+  /// Requests batch maintenance on `threads` threads (0 = the default from
+  /// INCR_THREADS / hardware_concurrency; 1 = sequential). Results must not
+  /// depend on the thread count. Default: ignored — engines without a bulk
+  /// path have nothing to parallelize.
+  virtual void SetThreads(size_t threads) { (void)threads; }
 
   /// Enumerates the engine's current output; returns the number of tuples.
   /// Pass a null sink to only count. Aggregate-only and per-request
@@ -90,15 +138,10 @@ class ViewTreeEngine : public IvmEngine<R> {
   }
 
   void ApplyBatch(Batch batch) override {
-    DeltaBatch<R> merged(tree_.query().atoms().size());
-    for (const Delta<R>& e : batch) {
-      size_t n = ForEachAtomNamed(tree_.query(), e.relation, [&](size_t a) {
-        merged.Add(a, e.tuple, e.delta);
-      });
-      INCR_CHECK(n > 0);
-    }
-    tree_.ApplyBatch(merged);
+    tree_.ApplyBatch(MergeNamedBatch(tree_, batch));
   }
+
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
   size_t Enumerate(const Sink& sink) override {
     if (!tree_.plan().CanEnumerate().ok()) return 0;

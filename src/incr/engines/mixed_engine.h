@@ -73,6 +73,19 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
     INCR_CHECK(n > 0);
   }
 
+  /// Bulk path: one node-at-a-time traversal for the whole batch (parallel
+  /// under SetThreads). Every named delta must address a dynamic atom only.
+  void ApplyBatch(typename IvmEngine<R>::Batch batch) override {
+    INCR_CHECK(sealed_);
+    DeltaBatch<R> merged = MergeNamedBatch(tree_, batch);
+    for (size_t a = 0; a < merged.num_atoms(); ++a) {
+      INCR_CHECK(merged.of(a).empty() || !is_static_[a]);
+    }
+    tree_.ApplyBatch(merged);
+  }
+
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
   size_t Enumerate(const Sink& sink) override {
     if (!tree_.plan().CanEnumerate().ok()) return 0;
     size_t n = 0;

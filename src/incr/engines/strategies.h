@@ -103,6 +103,8 @@ class EagerFactStrategy : public IvmStrategy<R> {
 
   void ApplyBatch(AtomBatch batch) override { tree_.ApplyBatch(batch); }
 
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
   size_t Enumerate(const Sink& sink) override {
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
@@ -190,6 +192,8 @@ class LazyFactStrategy : public IvmStrategy<R> {
 
   void ApplyBatch(AtomBatch batch) override { buffer_.AddAll(batch); }
 
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
   size_t Enumerate(const Sink& sink) override {
     tree_.ApplyBatch(buffer_);
     buffer_.Clear();
@@ -229,6 +233,8 @@ class LazyListStrategy : public IvmStrategy<R> {
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.LoadAtom(atom_id, t, m);  // base relation only, no propagation
   }
+
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
   size_t Enumerate(const Sink& sink) override {
     tree_.Rebuild();

@@ -34,6 +34,14 @@ inline uint64_t HashSpan64(const uint64_t* data, size_t n) {
   return h;
 }
 
+/// Maps a 64-bit hash to a shard in [0, n) using the *high* hash bits
+/// (fixed-point scaling). The open-addressing tables consume the low bits
+/// for bucket selection; sharding by the low bits would leave every
+/// shard's table clustered on a single residue class.
+inline size_t ShardOfHash(uint64_t h, size_t n) {
+  return static_cast<size_t>(((h >> 32) * static_cast<uint64_t>(n)) >> 32);
+}
+
 }  // namespace incr
 
 #endif  // INCR_UTIL_HASH_H_

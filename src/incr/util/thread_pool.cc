@@ -1,0 +1,103 @@
+#include "incr/util/thread_pool.h"
+
+#include <cstdlib>
+
+namespace incr {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = DefaultThreads();
+  workers_.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Serialize concurrent ParallelFor callers, and wait out any worker
+    // that woke for the previous job but has not yet re-parked — it may
+    // still hold pointers to the old job state we are about to overwrite.
+    idle_cv_.wait(lock, [this] {
+      return job_fn_ == nullptr && active_workers_ == 0;
+    });
+    job_fn_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    pending_.store(n, std::memory_order_relaxed);
+    ++epoch_;
+  }
+  wake_cv_.notify_all();
+  RunTasks(&fn, n);  // the calling thread participates
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    job_fn_ = nullptr;
+  }
+  idle_cv_.notify_all();
+}
+
+void ThreadPool::RunTasks(const std::function<void(size_t)>* fn, size_t n) {
+  for (;;) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    (*fn)(i);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  size_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_cv_.wait(lock,
+                  [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    const std::function<void(size_t)>* fn = job_fn_;
+    size_t n = job_n_;
+    if (fn == nullptr) continue;  // job already finished and was cleared
+    ++active_workers_;
+    lock.unlock();
+    RunTasks(fn, n);
+    lock.lock();
+    if (--active_workers_ == 0) idle_cv_.notify_all();
+  }
+}
+
+size_t ThreadPool::DefaultThreads() {
+  if (const char* env = std::getenv("INCR_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreads());
+  return pool;
+}
+
+}  // namespace incr

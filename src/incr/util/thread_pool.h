@@ -1,0 +1,85 @@
+// A small fixed-size thread pool with a blocking parallel-for primitive —
+// the execution substrate of the parallel batch-maintenance layer (no
+// external dependencies, std::thread only).
+//
+// Design constraints, in order:
+//   * Determinism support: ParallelFor(n, fn) promises nothing about which
+//     thread runs which index, so callers MUST make fn(i)'s *output*
+//     independent of scheduling (write to slot i, never to shared state).
+//     All parallel maintenance code in this repo follows that rule, which
+//     is how thread count stays invisible in results.
+//   * Reuse: one pool serves many ParallelFor calls; workers park on a
+//     condition variable between jobs (no spawn per batch).
+//   * Laziness: a pool of size 1 never spawns a worker thread, and the
+//     process-wide Global() pool is only constructed on first use.
+//
+// One job runs at a time per pool; ParallelFor is not reentrant from
+// inside a task of the same pool (the view tree never nests it). Tasks
+// must not throw: the codebase reports bugs via INCR_CHECK (abort), and an
+// exception escaping a worker would terminate anyway.
+#ifndef INCR_UTIL_THREAD_POOL_H_
+#define INCR_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace incr {
+
+class ThreadPool {
+ public:
+  /// A pool that runs ParallelFor on `num_threads` threads total: the
+  /// calling thread plus num_threads - 1 parked workers. num_threads == 0
+  /// means DefaultThreads().
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers (after finishing any in-flight job).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads participating in ParallelFor (callers + workers).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(n-1), distributing indexes dynamically over the
+  /// pool's threads (the caller participates), and returns when all n
+  /// calls have finished. Completed work happens-before the return.
+  /// With a single-thread pool (or n <= 1) this is a plain inline loop.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// The thread count used when a knob is 0: the INCR_THREADS environment
+  /// variable if set to a positive integer, else hardware_concurrency().
+  static size_t DefaultThreads();
+
+  /// A lazily-constructed process-wide pool of DefaultThreads() threads.
+  /// Never destroyed (workers park between uses; leak-on-exit avoids
+  /// shutdown-order hazards with static users).
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+  void RunTasks(const std::function<void(size_t)>* fn, size_t n);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_cv_;   // workers wait here for a new job
+  std::condition_variable done_cv_;   // ParallelFor waits here for pending_
+  std::condition_variable idle_cv_;   // next job waits for stragglers
+  const std::function<void(size_t)>* job_fn_ = nullptr;  // guarded by mu_
+  size_t job_n_ = 0;                                     // guarded by mu_
+  size_t epoch_ = 0;                                     // guarded by mu_
+  size_t active_workers_ = 0;                            // guarded by mu_
+  bool stop_ = false;                                    // guarded by mu_
+  std::atomic<size_t> next_{0};     // next unclaimed index of the job
+  std::atomic<size_t> pending_{0};  // tasks not yet finished
+};
+
+}  // namespace incr
+
+#endif  // INCR_UTIL_THREAD_POOL_H_

@@ -40,8 +40,8 @@ Query TriangleQuery() {
 template <RingType R>
 void ExpectViewsIdentical(const ViewTree<R>& a, const ViewTree<R>& b) {
   for (size_t n = 0; n < a.plan().nodes().size(); ++n) {
-    const Relation<R>& wa = a.NodeW(static_cast<int>(n));
-    const Relation<R>& wb = b.NodeW(static_cast<int>(n));
+    const auto& wa = a.NodeW(static_cast<int>(n));
+    const auto& wb = b.NodeW(static_cast<int>(n));
     ASSERT_EQ(wa.size(), wb.size()) << "W of node " << n;
     for (const auto& e : wa) ASSERT_EQ(wb.Payload(e.key), e.value);
     const Relation<R>& ma = a.NodeM(static_cast<int>(n));

@@ -1,0 +1,438 @@
+// The parallel batch-maintenance layer: ThreadPool, DeltaShards,
+// ShardedRelation, and the headline invariant — parallel ViewTree::ApplyBatch
+// is ring-identical to the sequential path for every ring and every thread
+// count (results must not depend on threads; shard partition is fixed).
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "incr/core/view_tree.h"
+#include "incr/data/delta.h"
+#include "incr/data/sharded_relation.h"
+#include "incr/engines/engine.h"
+#include "incr/ring/covar_ring.h"
+#include "incr/ring/int_ring.h"
+#include "incr/ring/product_ring.h"
+#include "incr/util/rng.h"
+#include "incr/util/thread_pool.h"
+
+namespace incr {
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2 };
+
+// Q-hierarchical: both atom sources bind the node keys (ByKey sharding).
+Query TheQuery() {
+  return Query("Q", Schema{A, B, C},
+               {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+}
+
+// Non-q-hierarchical fan-out under a path order: the S(B) source does not
+// bind node B's key (A), forcing the ByRange fallback with shard-local
+// accumulators.
+Query FanoutQuery() {
+  return Query("Q", Schema{A}, {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B}}});
+}
+
+// Cyclic triangle under a path order: multi-atom nodes where every atom
+// misses part of the node key — the ByRange path under heavy churn.
+Query TriangleQuery() {
+  return Query("Q", Schema{},
+               {Atom{"R", Schema{A, B}}, Atom{"S", Schema{B, C}},
+                Atom{"T", Schema{C, A}}});
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> counts(n);
+  pool.ParallelFor(n, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 100; ++job) {
+    pool.ParallelFor(17, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 1700u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);  // spawns no worker threads
+  EXPECT_EQ(pool.num_threads(), 1u);
+  size_t sum = 0;  // safe unsynchronized: everything runs on this thread
+  pool.ParallelFor(100, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, FewerTasksThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(3);
+  pool.ParallelFor(3, [&](size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < 3; ++i) ASSERT_EQ(counts[i].load(), 1);
+  pool.ParallelFor(0, [&](size_t) { FAIL() << "n == 0 must run nothing"; });
+}
+
+// ---------------------------------------------------------------------------
+// DeltaShards
+
+using IntEntry = DeltaBatch<IntRing>::Entry;
+
+TEST(DeltaShardsTest, ByKeyIsCompleteDisjointAndStable) {
+  // value = input position, so stability is checkable per shard.
+  std::vector<IntEntry> entries;
+  Rng rng(21);
+  for (int64_t i = 0; i < 500; ++i) {
+    entries.push_back({Tuple{rng.UniformInt(0, 40), rng.UniformInt(0, 5)}, i});
+  }
+  const uint32_t proj[] = {0};
+  auto shards =
+      DeltaShards<IntRing>::ByKey(entries, std::span<const uint32_t>(proj), 7);
+  ASSERT_EQ(shards.num_shards(), 7u);
+  size_t total = 0;
+  std::vector<int64_t> key_shard(41, -1);  // every key in exactly one shard
+  for (size_t s = 0; s < 7; ++s) {
+    int64_t prev = -1;
+    for (const IntEntry& e : shards.shard(s)) {
+      ASSERT_GT(e.value, prev) << "shard order must preserve input order";
+      prev = e.value;
+      int64_t& seen = key_shard[static_cast<size_t>(e.key[0])];
+      if (seen == -1) {
+        seen = static_cast<int64_t>(s);
+      } else {
+        ASSERT_EQ(seen, static_cast<int64_t>(s))
+            << "same key split across shards";
+      }
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, entries.size());
+}
+
+TEST(DeltaShardsTest, ByRangeConcatenatesToInput) {
+  std::vector<IntEntry> entries;
+  for (int64_t i = 0; i < 23; ++i) entries.push_back({Tuple{i}, i});
+  auto shards = DeltaShards<IntRing>::ByRange(
+      std::span<const IntEntry>(entries), 5);
+  ASSERT_EQ(shards.num_shards(), 5u);
+  int64_t next = 0;
+  for (size_t s = 0; s < 5; ++s) {
+    for (const IntEntry& e : shards.shard(s)) ASSERT_EQ(e.value, next++);
+  }
+  EXPECT_EQ(next, 23);
+}
+
+TEST(DeltaShardsTest, InputSmallerThanShardCount) {
+  std::vector<IntEntry> entries;
+  for (int64_t i = 0; i < 3; ++i) entries.push_back({Tuple{i, i}, i + 1});
+  const uint32_t proj[] = {0, 1};
+  for (auto& shards :
+       {DeltaShards<IntRing>::ByKey(entries, std::span<const uint32_t>(proj),
+                                    16),
+        DeltaShards<IntRing>::ByRange(std::span<const IntEntry>(entries),
+                                      16)}) {
+    size_t total = 0;
+    for (size_t s = 0; s < shards.num_shards(); ++s) {
+      total += shards.shard(s).size();
+    }
+    EXPECT_EQ(total, 3u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRelation
+
+TEST(ShardedRelationTest, MatchesPlainRelationAndSurvivesReshard) {
+  ShardedRelation<IntRing> sharded(Schema{A, B}, /*key_prefix=*/1,
+                                   /*num_shards=*/8);
+  Relation<IntRing> plain(Schema{A, B});
+  sharded.AddIndex(Schema{A});
+  plain.AddIndex(Schema{A});
+  Rng rng(22);
+  for (int i = 0; i < 800; ++i) {
+    Tuple t{rng.UniformInt(0, 30), rng.UniformInt(0, 6)};
+    int64_t d = rng.Chance(0.3) ? -1 : 1;
+    sharded.Apply(t, d);
+    plain.Apply(t, d);
+  }
+  auto check = [&] {
+    ASSERT_EQ(sharded.size(), plain.size());
+    size_t seen = 0;
+    for (const auto& e : sharded) {
+      ASSERT_EQ(plain.Payload(e.key), e.value);
+      ASSERT_TRUE(sharded.Contains(e.key));
+      ++seen;
+    }
+    ASSERT_EQ(seen, plain.size());
+    for (Value a = 0; a <= 30; ++a) {
+      const auto* group = sharded.GroupByKey(0, Tuple{a});
+      const auto* expect = plain.index(0).Group(Tuple{a});
+      if (expect == nullptr) {
+        ASSERT_TRUE(group == nullptr || group->empty());
+      } else {
+        ASSERT_NE(group, nullptr);
+        ASSERT_EQ(group->size(), expect->size());
+      }
+    }
+  };
+  check();
+  sharded.Reshard(3);
+  check();
+  sharded.Reshard(1);
+  check();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel ApplyBatch == sequential ApplyBatch, across rings/threads
+
+// Every W and M view must hold ring-identical payloads.
+template <RingType R>
+void ExpectViewsIdentical(const ViewTree<R>& a, const ViewTree<R>& b) {
+  for (size_t n = 0; n < a.plan().nodes().size(); ++n) {
+    const auto& wa = a.NodeW(static_cast<int>(n));
+    const auto& wb = b.NodeW(static_cast<int>(n));
+    ASSERT_EQ(wa.size(), wb.size()) << "W of node " << n;
+    for (const auto& e : wa) ASSERT_EQ(wb.Payload(e.key), e.value);
+    const Relation<R>& ma = a.NodeM(static_cast<int>(n));
+    const Relation<R>& mb = b.NodeM(static_cast<int>(n));
+    ASSERT_EQ(ma.size(), mb.size()) << "M of node " << n;
+    for (const auto& e : ma) ASSERT_EQ(mb.Payload(e.key), e.value);
+  }
+}
+
+// Applies the same random batches to a sequential tree and to parallel
+// trees at thread counts {1, 2, 7}, checking every view after every batch.
+// Batch sizes start below the shard count (16) on purpose.
+template <RingType R, typename DrawFn>
+void CheckParallelVsSequential(const Query& q, const VariableOrder* vo,
+                               DrawFn&& draw, uint64_t seed) {
+  auto make = [&] {
+    auto t = vo == nullptr ? ViewTree<R>::Make(q) : ViewTree<R>::Make(q, *vo);
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  for (size_t threads : {1u, 2u, 7u}) {
+    ViewTree<R> sequential = make();
+    ViewTree<R> parallel = make();
+    parallel.SetThreads(threads);
+    Rng rng(seed);
+    for (size_t size : {3u, 7u, 40u, 200u}) {
+      std::vector<typename ViewTree<R>::BatchEntry> batch;
+      for (size_t i = 0; i < size; ++i) batch.push_back(draw(rng));
+      sequential.ApplyBatch(
+          std::span<const typename ViewTree<R>::BatchEntry>(batch));
+      parallel.ApplyBatch(
+          std::span<const typename ViewTree<R>::BatchEntry>(batch));
+      ExpectViewsIdentical(parallel, sequential);
+    }
+  }
+}
+
+TEST(ParallelBatchTest, MatchesSequentialIntRing) {
+  CheckParallelVsSequential<IntRing>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            rng.Chance(0.4) ? -1 : 2};
+      },
+      31);
+}
+
+TEST(ParallelBatchTest, MatchesSequentialProductRing) {
+  using PR = ProductRing<IntRing, IntRing>;
+  CheckParallelVsSequential<PR>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        int64_t m = rng.Chance(0.4) ? -1 : 1;
+        return ViewTree<PR>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            {m, 2 * m}};
+      },
+      32);
+}
+
+TEST(ParallelBatchTest, MatchesSequentialCovarRing) {
+  using CR = CovarRing<2>;
+  CheckParallelVsSequential<CR>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        CR::Value v = CR::Lift(rng.Uniform(2),
+                               static_cast<double>(rng.UniformInt(1, 9)));
+        return ViewTree<CR>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            rng.Chance(0.3) ? CR::Neg(v) : v};
+      },
+      33);
+}
+
+TEST(ParallelBatchTest, MatchesSequentialFanout) {
+  // ByRange fallback: S(B) cannot be partitioned by node B's key (A).
+  Query q = FanoutQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  CheckParallelVsSequential<IntRing>(
+      q, &*vo,
+      [](Rng& rng) {
+        if (rng.Chance(0.5)) {
+          return ViewTree<IntRing>::BatchEntry{
+              0, Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 3)}, 1};
+        }
+        return ViewTree<IntRing>::BatchEntry{
+            1, Tuple{rng.UniformInt(0, 3)}, rng.Chance(0.4) ? -1 : 1};
+      },
+      34);
+}
+
+TEST(ParallelBatchTest, MatchesSequentialTriangle) {
+  Query q = TriangleQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  CheckParallelVsSequential<IntRing>(
+      q, &*vo,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(3), Tuple{rng.UniformInt(0, 4), rng.UniformInt(0, 4)},
+            rng.Chance(0.4) ? -1 : 1};
+      },
+      35);
+}
+
+TEST(ParallelBatchTest, ResultsInvariantUnderThreadCount) {
+  // Not just payload-equal to sequential: two parallel trees at different
+  // thread counts share the same fixed shard partition, so even the
+  // physical shard layouts coincide.
+  auto make = [] {
+    auto t = ViewTree<IntRing>::Make(TheQuery());
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  ViewTree<IntRing> two = make();
+  ViewTree<IntRing> seven = make();
+  two.SetThreads(2);
+  seven.SetThreads(7);
+  Rng rng(36);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<ViewTree<IntRing>::BatchEntry> batch;
+    for (int i = 0; i < 150; ++i) {
+      batch.push_back({rng.Uniform(2),
+                       Tuple{rng.UniformInt(0, 9), rng.UniformInt(0, 9)},
+                       rng.Chance(0.4) ? -1 : 1});
+    }
+    two.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+    seven.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+    ExpectViewsIdentical(two, seven);
+    for (size_t n = 0; n < two.plan().nodes().size(); ++n) {
+      const auto& wa = two.NodeW(static_cast<int>(n));
+      const auto& wb = seven.NodeW(static_cast<int>(n));
+      ASSERT_EQ(wa.num_shards(), wb.num_shards());
+      for (size_t s = 0; s < wa.num_shards(); ++s) {
+        ASSERT_EQ(wa.shard(s).size(), wb.shard(s).size())
+            << "node " << n << " shard " << s;
+      }
+    }
+  }
+}
+
+TEST(ParallelBatchTest, SelfCancellingBatchIsNoOp) {
+  auto make = [] {
+    auto t = ViewTree<IntRing>::Make(TheQuery());
+    EXPECT_TRUE(t.ok());
+    t->SetThreads(7);
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i) {
+      t->UpdateAtom(rng.Uniform(2),
+                    Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)}, 1);
+    }
+    return *std::move(t);
+  };
+  ViewTree<IntRing> tree = make();
+  ViewTree<IntRing> untouched = make();
+  Rng rng(38);
+  std::vector<ViewTree<IntRing>::BatchEntry> batch;
+  for (int i = 0; i < 50; ++i) {
+    ViewTree<IntRing>::BatchEntry e{
+        rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+        rng.UniformInt(1, 3)};
+    ViewTree<IntRing>::BatchEntry neg = e;
+    neg.delta = -neg.delta;
+    batch.push_back(e);
+    batch.push_back(neg);
+  }
+  tree.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+  ExpectViewsIdentical(tree, untouched);
+}
+
+TEST(ParallelBatchTest, EngineNamedBatchMatchesSequential) {
+  // The IvmEngine wiring: SetThreads + the parallel named-batch merge.
+  Query q = FanoutQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  auto make = [&] {
+    auto t = ViewTree<IntRing>::Make(q, *vo);
+    EXPECT_TRUE(t.ok());
+    return ViewTreeEngine<IntRing>(*std::move(t));
+  };
+  ViewTreeEngine<IntRing> sequential = make();
+  ViewTreeEngine<IntRing> parallel = make();
+  parallel.SetThreads(4);
+  Rng rng(39);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<Delta<IntRing>> batch;
+    for (int i = 0; i < 300; ++i) {
+      if (rng.Chance(0.5)) {
+        batch.push_back({"R",
+                         Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 3)},
+                         rng.Chance(0.4) ? -1 : 1});
+      } else {
+        batch.push_back(
+            {"S", Tuple{rng.UniformInt(0, 3)}, rng.Chance(0.4) ? -1 : 1});
+      }
+    }
+    sequential.ApplyBatch(std::span<const Delta<IntRing>>(batch));
+    parallel.ApplyBatch(std::span<const Delta<IntRing>>(batch));
+    ExpectViewsIdentical(parallel.tree(), sequential.tree());
+  }
+}
+
+TEST(ParallelBatchTest, SetThreadsMidStreamPreservesState) {
+  // Reshard with data in place: sequential -> parallel -> sequential.
+  auto make = [] {
+    auto t = ViewTree<IntRing>::Make(TheQuery());
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  ViewTree<IntRing> toggled = make();
+  ViewTree<IntRing> reference = make();
+  Rng rng(40);
+  for (int phase = 0; phase < 3; ++phase) {
+    toggled.SetThreads(phase == 1 ? 4 : 1);
+    std::vector<ViewTree<IntRing>::BatchEntry> batch;
+    for (int i = 0; i < 120; ++i) {
+      batch.push_back({rng.Uniform(2),
+                       Tuple{rng.UniformInt(0, 6), rng.UniformInt(0, 6)},
+                       rng.Chance(0.4) ? -1 : 1});
+    }
+    toggled.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+    reference.ApplyBatch(
+        std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+    ExpectViewsIdentical(toggled, reference);
+  }
+}
+
+}  // namespace
+}  // namespace incr

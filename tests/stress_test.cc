@@ -142,5 +142,78 @@ TEST(StressTest, QHierarchicalLongHaul) {
   }
 }
 
+TEST(StressTest, ParallelBatchEquivalenceLongHaul) {
+  // The same random insert/delete stream, chopped into random-size batches,
+  // applied three ways: per-tuple, sequential node-at-a-time, and
+  // shard-parallel on 5 threads. Every view of all three trees must agree
+  // after every batch; the oracle checks the output at sparse checkpoints.
+  enum : Var { W = 3, X = 4, Y = 5, Z = 6 };
+  Query q("deep", Schema{W, X, Y, Z},
+          {Atom{"R", Schema{W, X}}, Atom{"S", Schema{W, X, Y}},
+           Atom{"T", Schema{W, Z}}, Atom{"U", Schema{W}}});
+  auto make = [&] {
+    auto t = ViewTree<IntRing>::Make(q);
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  ViewTree<IntRing> per_tuple = make();
+  ViewTree<IntRing> sequential = make();
+  ViewTree<IntRing> parallel = make();
+  parallel.SetThreads(5);
+  Rng rng(9);
+  std::vector<std::pair<size_t, Tuple>> live;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<ViewTree<IntRing>::BatchEntry> batch;
+    size_t size = rng.UniformInt(1, 400);
+    for (size_t i = 0; i < size; ++i) {
+      if (!live.empty() && rng.Chance(0.4)) {
+        size_t j = rng.Uniform(live.size());
+        batch.push_back({live[j].first, live[j].second, -1});
+        live[j] = live.back();
+        live.pop_back();
+      } else {
+        size_t atom = rng.Uniform(4);
+        Tuple t;
+        for (size_t k = 0; k < q.atoms()[atom].schema.size(); ++k) {
+          t.push_back(rng.UniformInt(0, 4));
+        }
+        batch.push_back({atom, t, 1});
+        live.emplace_back(atom, t);
+      }
+    }
+    std::span<const ViewTree<IntRing>::BatchEntry> span(batch);
+    per_tuple.ApplyBatchPerTuple(span);
+    sequential.ApplyBatch(span);
+    parallel.ApplyBatch(span);
+    for (size_t n = 0; n < parallel.plan().nodes().size(); ++n) {
+      int node = static_cast<int>(n);
+      const auto& wp = parallel.NodeW(node);
+      const auto& ws = sequential.NodeW(node);
+      const auto& wt = per_tuple.NodeW(node);
+      ASSERT_EQ(wp.size(), ws.size()) << "W of node " << n;
+      ASSERT_EQ(wp.size(), wt.size()) << "W of node " << n;
+      for (const auto& e : wp) {
+        ASSERT_EQ(ws.Payload(e.key), e.value);
+        ASSERT_EQ(wt.Payload(e.key), e.value);
+      }
+      const Relation<IntRing>& mp = parallel.NodeM(node);
+      const Relation<IntRing>& ms = sequential.NodeM(node);
+      ASSERT_EQ(mp.size(), ms.size()) << "M of node " << n;
+      for (const auto& e : mp) ASSERT_EQ(ms.Payload(e.key), e.value);
+    }
+    if (round % 13 != 0) continue;
+    std::vector<const Relation<IntRing>*> rels;
+    for (size_t a = 0; a < 4; ++a) rels.push_back(&parallel.AtomRelation(a));
+    auto oracle = EvaluateQuery<IntRing>(q, rels);
+    auto pos = ProjectionPositions(parallel.OutputSchema(), q.free());
+    size_t n = 0;
+    for (ViewTreeEnumerator<IntRing> it(parallel); it.Valid(); it.Next()) {
+      ASSERT_EQ(oracle.Payload(ProjectTuple(it.tuple(), pos)), it.payload());
+      ++n;
+    }
+    ASSERT_EQ(n, oracle.size()) << round;
+  }
+}
+
 }  // namespace
 }  // namespace incr

@@ -15,6 +15,7 @@
 // enumeration out, one code path for all of them.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <span>
@@ -31,6 +32,7 @@
 #include "incr/engines/shattered_engine.h"
 #include "incr/engines/strategies.h"
 #include "incr/insertonly/insert_only_engine.h"
+#include "incr/obs/metrics.h"
 #include "incr/ring/int_ring.h"
 #include "incr/util/rng.h"
 
@@ -42,6 +44,13 @@ namespace {
 enum : Var { A = 0, B = 1, C = 2, D = 3 };
 
 using Entry = ViewTree<IntRing>::BatchEntry;
+
+// INCR_BENCH_SMOKE=1 shrinks the sweep so CI can exercise the full binary
+// (including the JSON/trace plumbing) in seconds instead of minutes.
+bool SmokeMode() {
+  const char* v = std::getenv("INCR_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
 
 // A sweep workload: how to build a preloaded tree and how to draw one
 // batch of insert deltas (deletions are the same batch negated).
@@ -142,10 +151,11 @@ Workload TriangleWorkload() {
 // preloaded second tree. Even repetitions insert a fresh batch, odd ones
 // retract it, so the database stays near its preloaded size.
 void MeasureCell(const Workload& w, int64_t batch_size, double* per_tuple_ns,
-                 double* batched_ns) {
+                 double* batched_ns, std::string* node_stats_json) {
   ViewTree<IntRing> seq_tree = w.build();
   ViewTree<IntRing> bat_tree = w.build();
-  const int64_t total_ops = 20000;
+  bat_tree.ResetNodeStats();  // drop the preload's share of the counters
+  const int64_t total_ops = SmokeMode() ? 2000 : 20000;
   int64_t reps = std::max<int64_t>(2, total_ops / batch_size);
   if (reps % 2 != 0) ++reps;
   Rng rng(13);
@@ -171,6 +181,7 @@ void MeasureCell(const Workload& w, int64_t batch_size, double* per_tuple_ns,
   INCR_CHECK(seq_tree.Aggregate() == bat_tree.Aggregate());
   *per_tuple_ns = NsPerOp(seq_secs, ops);
   *batched_ns = NsPerOp(bat_secs, ops);
+  *node_stats_json = bat_tree.NodeStatsJson();
 }
 
 // ---------------------------------------------------------------------
@@ -287,12 +298,16 @@ int main() {
   Section("E14a: per-tuple vs node-at-a-time batches (ns/delta)");
   Row({"query", "batch", "per-tuple", "batched", "speedup"});
   JsonArrayWriter json;
+  const std::vector<int64_t> batches =
+      SmokeMode() ? std::vector<int64_t>{1, 1000}
+                  : std::vector<int64_t>{1, 10, 100, 1000, 10000};
   for (const Workload& w :
        {QHierarchicalWorkload(), NonQHierarchicalWorkload(),
         TriangleWorkload()}) {
-    for (int64_t batch : {1, 10, 100, 1000, 10000}) {
+    std::string node_stats;
+    for (int64_t batch : batches) {
       double per_tuple = 0, batched = 0;
-      MeasureCell(w, batch, &per_tuple, &batched);
+      MeasureCell(w, batch, &per_tuple, &batched, &node_stats);
       double speedup = batched > 0 ? per_tuple / batched : 0;
       Row({w.name, FmtInt(batch), Fmt(per_tuple), Fmt(batched),
            Fmt(speedup, "%.2f")});
@@ -304,10 +319,15 @@ int main() {
       json.Field("speedup", speedup);
       json.EndObject();
     }
+    // Per-node maintenance stats of the largest batched cell.
+    json.RawSection("node_stats." + w.name, node_stats);
   }
+  RunAllEngines();
+  // Global metrics snapshot (counters, gauges, latency histograms) from
+  // everything the run touched, embedded in the artifact.
+  json.RawSection("stats", obs::MetricsRegistry::Global().Snapshot().ToJson());
   if (json.WriteFile("BENCH_batch.json")) {
     std::printf("\nwrote BENCH_batch.json\n");
   }
-  RunAllEngines();
   return 0;
 }

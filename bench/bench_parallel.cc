@@ -161,7 +161,7 @@ double MeasureCell(const Workload& w, size_t threads, int64_t batch_size,
 int main() {
   Section("E15: shard-parallel vs sequential batches (ns/delta)");
   std::printf("shards fixed at %zu; threads only decide who runs them\n",
-              ViewTree<IntRing>::kDefaultDeltaShards);
+              ViewTree<IntRing>::DefaultDeltaShards());
   Row({"query", "batch", "threads", "ns/delta", "speedup"});
   JsonArrayWriter json;
   for (const Workload& w :

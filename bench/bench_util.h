@@ -7,15 +7,20 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "incr/util/stats.h"
 #include "incr/util/stopwatch.h"
+#include "incr/version.h"
 
 namespace incr::bench {
 
-/// Accumulates flat objects and writes them as a JSON array — the
+/// Accumulates flat objects and writes them as a JSON object — the
 /// machine-readable BENCH_*.json artifacts next to the printed tables.
+/// Layout: {"build": {...}, <raw sections>, "rows": [...]} where "build"
+/// is BuildInfoJson() and raw sections are verbatim JSON values attached
+/// via RawSection (e.g. a StatsSnapshot or per-node view-tree stats).
 class JsonArrayWriter {
  public:
   void BeginObject() { fields_.clear(); }
@@ -42,15 +47,25 @@ class JsonArrayWriter {
     objects_.push_back(std::move(obj));
   }
 
+  /// Attaches a top-level `"key": <json>` section, emitted before "rows".
+  /// `json` must already be valid JSON (object, array, or scalar).
+  void RawSection(const std::string& key, std::string json) {
+    sections_.emplace_back(key, std::move(json));
+  }
+
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\n\"build\": %s,\n", BuildInfoJson().c_str());
+    for (const auto& [key, json] : sections_) {
+      std::fprintf(f, "\"%s\": %s,\n", Escape(key).c_str(), json.c_str());
+    }
+    std::fprintf(f, "\"rows\": [\n");
     for (size_t i = 0; i < objects_.size(); ++i) {
       std::fprintf(f, "%s%s\n", objects_[i].c_str(),
                    i + 1 < objects_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "]\n}\n");
     std::fclose(f);
     return true;
   }
@@ -69,6 +84,7 @@ class JsonArrayWriter {
 
   std::vector<std::string> fields_;
   std::vector<std::string> objects_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 /// Prints a separator + title block.

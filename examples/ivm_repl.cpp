@@ -20,6 +20,11 @@
 //   enum                                 enumerate the current output
 //   agg                                  the full aggregate (count)
 //   classify                             structural report for the query
+//   stats [reset]                        runtime metrics snapshot (and
+//                                        optionally reset counters)
+//   trace on <file> / trace off          Chrome trace_event recording
+//                                        (open the file in
+//                                        chrome://tracing or Perfetto)
 //   help / quit
 //
 // Values may be integers or identifiers (interned via Dictionary).
@@ -38,6 +43,8 @@
 #include "incr/data/delta.h"
 #include "incr/engines/engine.h"
 #include "incr/engines/strategies.h"
+#include "incr/obs/metrics.h"
+#include "incr/obs/trace.h"
 #include "incr/query/parser.h"
 #include "incr/query/properties.h"
 #include "incr/ring/int_ring.h"
@@ -314,13 +321,50 @@ struct Session {
     std::printf("  (%zu row(s))\n", total);
   }
 
+  void Stats(bool reset) {
+    auto& registry = obs::MetricsRegistry::Global();
+    std::printf("%s", registry.Snapshot().ToText().c_str());
+    if (!obs::Enabled()) {
+      std::printf("(observability is disabled: INCR_OBS=off or compiled "
+                  "out)\n");
+    }
+    if (reset) {
+      registry.Reset();
+      std::printf("metrics reset\n");
+    }
+  }
+
+  void Trace(const std::string& arg) {
+    auto& tracer = obs::Tracer::Global();
+    if (arg == "off") {
+      if (!tracer.Active()) {
+        std::printf("tracing is not on\n");
+        return;
+      }
+      tracer.StopSession();
+      std::printf("trace written\n");
+    } else if (arg.rfind("on ", 0) == 0 && arg.size() > 3) {
+      if (!obs::Enabled()) {
+        std::printf("observability is disabled; no events would be "
+                    "recorded\n");
+        return;
+      }
+      tracer.StartSession(arg.substr(3));
+      std::printf("tracing to '%s' (trace off to write)\n",
+                  arg.substr(3).c_str());
+    } else {
+      std::printf("usage: trace on <file> | trace off\n");
+    }
+  }
+
   bool Handle(const std::string& line) {
     if (line.empty()) return true;
     if (line == "quit" || line == "exit") return false;
     if (line == "help") {
       std::printf("commands: query <def> | engine <kind> | +Rel v1 v2 [xN] "
                   "| -Rel v1 v2 | batch <file> | threads <n> | enum | agg | "
-                  "classify | quit\n");
+                  "classify | stats [reset] | trace on <file> | trace off | "
+                  "quit\n");
       std::printf("engine kinds: eager-fact eager-list lazy-fact lazy-list "
                   "view-tree\n");
     } else if (line.rfind("query ", 0) == 0) {
@@ -343,6 +387,10 @@ struct Session {
       }
     } else if (line == "classify") {
       Classify();
+    } else if (line == "stats" || line == "stats reset") {
+      Stats(line == "stats reset");
+    } else if (line.rfind("trace ", 0) == 0) {
+      Trace(line.substr(6));
     } else {
       std::printf("unrecognized; try 'help'\n");
     }

@@ -65,28 +65,6 @@ class CascadeEngine : public IvmEngine<R> {
   // EnumerateQ2 below gives the intermediate Q2 view.
   const char* name() const override { return "cascade"; }
 
-  size_t Enumerate(const Sink& sink) override { return EnumerateQ1(sink); }
-
-  /// Routes a single-tuple delta to Q2's tree and/or Q1''s uncovered atoms.
-  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
-    bool found = false;
-    for (const Atom& a : tree2_.query().atoms()) {
-      if (a.relation == rel) {
-        tree2_.Update(rel, t, m);
-        dirty_ = true;
-        found = true;
-        break;
-      }
-    }
-    for (size_t a = 0; a < tree1_.query().atoms().size(); ++a) {
-      if (tree1_.query().atoms()[a].relation == rel) {
-        tree1_.UpdateAtom(a, t, m);
-        found = true;
-      }
-    }
-    INCR_CHECK(found);
-  }
-
   /// Enumerates Q2's output (constant delay) and piggybacks the V_Q2 sync.
   size_t EnumerateQ2(const Sink& sink) {
     ++epoch_;
@@ -133,6 +111,30 @@ class CascadeEngine : public IvmEngine<R> {
   /// Output schemas (free variables in enumeration order).
   Schema OutputSchemaQ1() const { return tree1_.OutputSchema(); }
   Schema OutputSchemaQ2() const { return tree2_.OutputSchema(); }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override { return EnumerateQ1(sink); }
+
+  /// Routes a single-tuple delta to Q2's tree and/or Q1''s uncovered atoms.
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& m) override {
+    bool found = false;
+    for (const Atom& a : tree2_.query().atoms()) {
+      if (a.relation == rel) {
+        tree2_.Update(rel, t, m);
+        dirty_ = true;
+        found = true;
+        break;
+      }
+    }
+    for (size_t a = 0; a < tree1_.query().atoms().size(); ++a) {
+      if (tree1_.query().atoms()[a].relation == rel) {
+        tree1_.UpdateAtom(a, t, m);
+        found = true;
+      }
+    }
+    INCR_CHECK(found);
+  }
 
  private:
   static constexpr const char* kViewName = "__VQ2";

@@ -20,6 +20,8 @@
 #ifndef INCR_CORE_VIEW_TREE_H_
 #define INCR_CORE_VIEW_TREE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
@@ -31,6 +33,8 @@
 #include "incr/data/delta.h"
 #include "incr/data/relation.h"
 #include "incr/data/sharded_relation.h"
+#include "incr/obs/metrics.h"
+#include "incr/obs/trace.h"
 #include "incr/ring/ring.h"
 #include "incr/util/check.h"
 #include "incr/util/hash.h"
@@ -38,6 +42,30 @@
 #include "incr/util/thread_pool.h"
 
 namespace incr {
+
+namespace detail {
+// Batch-path metric handles shared by every ViewTree<R> instantiation.
+struct ViewTreeMetricHandles {
+  obs::Counter* updates;       // single-tuple UpdateAtom calls
+  obs::Counter* batches;       // ApplyBatch(DeltaBatch) calls
+  obs::Counter* batch_deltas;  // merged deltas entering ApplyBatch
+  obs::Histogram* shard_delta_tuples;    // per-shard W-delta bucket sizes
+  obs::Histogram* shard_imbalance_x100;  // 100 * max_bucket / mean_bucket
+};
+inline const ViewTreeMetricHandles& ViewTreeMetrics() {
+  static const ViewTreeMetricHandles h = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return ViewTreeMetricHandles{
+        r.GetCounter("viewtree.updates"),
+        r.GetCounter("viewtree.batches"),
+        r.GetCounter("viewtree.batch_deltas"),
+        r.GetHistogram("viewtree.shard_delta_tuples"),
+        r.GetHistogram("viewtree.shard_imbalance_x100"),
+    };
+  }();
+  return h;
+}
+}  // namespace detail
 
 template <RingType R>
 class ViewTreeEnumerator;
@@ -73,6 +101,7 @@ class ViewTree {
     }
     const auto& nodes = plan_.nodes();
     lifts_.resize(nodes.size());
+    node_stats_.resize(nodes.size());
     atom_sharding_.resize(nodes.size());
     child_sharding_.resize(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
@@ -111,12 +140,13 @@ class ViewTree {
   /// Shard count used by the parallel batch path. Fixed (not derived from
   /// the thread count) so that results are invariant under the number of
   /// threads: the partition of work is always the same, threads only decide
-  /// who executes each shard.
-  static constexpr size_t kDefaultDeltaShards = 16;
+  /// who executes each shard. Resolved once per process from INCR_SHARDS
+  /// (default 16) — see NumShards() in data/delta.h.
+  static size_t DefaultDeltaShards() { return NumShards(); }
 
   /// Configures parallel batch maintenance: `threads` total threads
   /// (0 = ThreadPool::DefaultThreads()), data-parallel over `shards` hash
-  /// shards (0 = kDefaultDeltaShards). threads == 1 restores the exact
+  /// shards (0 = DefaultDeltaShards()). threads == 1 restores the exact
   /// sequential path (single-shard W layout, no pool). W views are
   /// resharded in place — O(total W size) — so call this before bulk work.
   /// Single-tuple Update()s are unaffected either way.
@@ -127,9 +157,13 @@ class ViewTree {
       shards_ = 1;
     } else {
       pool_ = std::make_unique<ThreadPool>(threads);
-      shards_ = shards == 0 ? kDefaultDeltaShards : shards;
+      shards_ = shards == 0 ? DefaultDeltaShards() : shards;
     }
     for (auto& w : w_) w->Reshard(shards_);
+    auto& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("viewtree.threads")
+        ->Set(static_cast<int64_t>(pool_ ? pool_->num_threads() : 1));
+    reg.GetGauge("viewtree.shards")->Set(static_cast<int64_t>(shards_));
   }
 
   /// The pool driving parallel batches; nullptr in sequential mode.
@@ -148,6 +182,7 @@ class ViewTree {
   /// Applies a single-tuple delta to atom `atom_id` and propagates it.
   void UpdateAtom(size_t atom_id, const Tuple& t, const RV& d) {
     if (R::IsZero(d)) return;
+    if (obs::Enabled()) detail::ViewTreeMetrics().updates->Inc();
     atoms_[atom_id]->Apply(t, d);
     int node = plan_.atom_node()[atom_id];
     const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
@@ -206,15 +241,29 @@ class ViewTree {
   /// and invariant under the thread count (see ProcessNodeBatchParallel).
   void ApplyBatch(const DeltaBatch<R>& batch) {
     if (batch.empty()) return;
+    const bool obs_on = obs::Enabled();
+    obs::TraceSpan span("viewtree.apply_batch");
+    span.AddArg("deltas", static_cast<uint64_t>(batch.size()));
+    if (obs_on) {
+      detail::ViewTreeMetrics().batches->Inc();
+      detail::ViewTreeMetrics().batch_deltas->Add(batch.size());
+    }
     // Pending per-node delta relations over the node's key schema, handed
     // from each node to its parent (or folded into M at the roots).
     std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
     const auto& pre = plan_.vo().preorder();
     for (size_t k = pre.size(); k-- > 0;) {
+      const int node = pre[k];
+      obs::TraceSpan node_span("viewtree.node");
+      node_span.AddArg("node", static_cast<uint64_t>(node));
+      const uint64_t t0 = obs_on ? obs::NowNs() : 0;
       if (pool_ == nullptr) {
-        ProcessNodeBatch(pre[k], batch, &pending);
+        ProcessNodeBatch(node, batch, &pending);
       } else {
-        ProcessNodeBatchParallel(pre[k], batch, &pending);
+        ProcessNodeBatchParallel(node, batch, &pending);
+      }
+      if (obs_on) {
+        node_stats_[static_cast<size_t>(node)].apply_ns += obs::NowNs() - t0;
       }
     }
   }
@@ -266,6 +315,7 @@ class ViewTree {
 
   /// Rebuilds every view bottom-up from the base relations.
   void Rebuild() {
+    obs::TraceSpan span("viewtree.rebuild");
     for (auto& w : w_) w->Clear();
     for (auto& m : m_) m->Clear();
     // Children before parents: reverse preorder visits leaves first.
@@ -308,6 +358,55 @@ class ViewTree {
   /// free nodes, of the anchored atoms' payloads and the bound children's
   /// marginalizations, times the M of fully-bound root trees.
   RV OutputPayload(const Tuple& t) const;
+
+  /// Per-node maintenance statistics, accumulated while obs::Enabled().
+  /// All counts are plain integers written only by the coordinating thread
+  /// (per-node batch coordination is single-threaded even on the parallel
+  /// path), so reads between batches are exact.
+  struct NodeObs {
+    uint64_t batch_calls = 0;    // batches in which this node had work
+    uint64_t single_deltas = 0;  // ProcessDelta visits (per-tuple path)
+    uint64_t tuples_in = 0;      // source deltas folded at this node
+    uint64_t tuples_out = 0;     // W-delta tuples emitted by its programs
+    uint64_t apply_ns = 0;       // wall time spent in its batch processing
+  };
+
+  const NodeObs& node_stats(int node) const {
+    return node_stats_[static_cast<size_t>(node)];
+  }
+  void ResetNodeStats() {
+    for (NodeObs& no : node_stats_) no = NodeObs{};
+  }
+
+  /// JSON array with one object per view-tree node: static shape (var,
+  /// parent, key arity), current view cardinalities |W_X| / |M_X|, and the
+  /// accumulated NodeObs counters. This is the per-node cost breakdown
+  /// embedded into BENCH_*.json (the paper's costs are per materialized
+  /// view, so the node is the attribution unit).
+  std::string NodeStatsJson() const {
+    std::string out = "[";
+    const auto& nodes = plan_.nodes();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const PlanNode& pn = nodes[i];
+      const NodeObs& no = node_stats_[i];
+      if (i > 0) out += ", ";
+      out += "{\"node\": " + std::to_string(i);
+      out += ", \"var\": " + std::to_string(static_cast<int64_t>(pn.var));
+      out += ", \"parent\": " + std::to_string(pn.parent);
+      out += ", \"free\": " + std::string(pn.free ? "true" : "false");
+      out += ", \"key_arity\": " + std::to_string(pn.key.size());
+      out += ", \"w_size\": " + std::to_string(w_[i]->size());
+      out += ", \"m_size\": " + std::to_string(m_[i]->size());
+      out += ", \"batch_calls\": " + std::to_string(no.batch_calls);
+      out += ", \"single_deltas\": " + std::to_string(no.single_deltas);
+      out += ", \"tuples_in\": " + std::to_string(no.tuples_in);
+      out += ", \"tuples_out\": " + std::to_string(no.tuples_out);
+      out += ", \"apply_ns\": " + std::to_string(no.apply_ns);
+      out += "}";
+    }
+    out += "]";
+    return out;
+  }
 
   friend class ViewTreeEnumerator<R>;
 
@@ -382,6 +481,12 @@ class ViewTree {
     const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
     std::vector<std::pair<Tuple, RV>> w_deltas;
     RunProgram(prog, src, d, pn.w_schema, &w_deltas);
+    if (obs::Enabled()) {
+      NodeObs& no = node_stats_[static_cast<size_t>(node)];
+      ++no.single_deltas;
+      ++no.tuples_in;
+      no.tuples_out += w_deltas.size();
+    }
     if (w_deltas.empty()) return;
 
     ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
@@ -437,11 +542,15 @@ class ViewTree {
       has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
     }
     if (!has_work) return;
+    const bool obs_on = obs::Enabled();
+    NodeObs& no = node_stats_[static_cast<size_t>(node)];
+    if (obs_on) ++no.batch_calls;
 
     std::vector<std::pair<Tuple, RV>> w_deltas;
     for (size_t i = 0; i < pn.atoms.size(); ++i) {
       const auto& d = batch.of(pn.atoms[i]);
       if (d.empty()) continue;
+      if (obs_on) no.tuples_in += d.size();
       atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]));
       for (const auto& e : d) {
         RunProgram(pn.atom_programs[i], e.key, e.value, pn.w_schema,
@@ -451,6 +560,7 @@ class ViewTree {
     for (size_t i = 0; i < pn.children.size(); ++i) {
       auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
       if (parked == nullptr) continue;
+      if (obs_on) no.tuples_in += parked->size();
       Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
       for (const auto& e : *parked) cm.Apply(e.key, e.value);
       for (const auto& e : *parked) {
@@ -459,6 +569,7 @@ class ViewTree {
       }
       parked.reset();
     }
+    if (obs_on) no.tuples_out += w_deltas.size();
     if (w_deltas.empty()) return;
 
     // Fold W deltas into W_X and group them into the node's M-delta. W is
@@ -540,6 +651,9 @@ class ViewTree {
       has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
     }
     if (!has_work) return;
+    const bool obs_on = obs::Enabled();
+    NodeObs& no = node_stats_[static_cast<size_t>(node)];
+    if (obs_on) ++no.batch_calls;
 
     const size_t S = shards_;
     ThreadPool* pool = pool_.get();
@@ -593,6 +707,7 @@ class ViewTree {
     for (size_t i = 0; i < pn.atoms.size(); ++i) {
       const auto& d = batch.of(pn.atoms[i]);
       if (d.empty()) continue;
+      if (obs_on) no.tuples_in += d.size();
       atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]), pool);
       run_source(pn.atom_programs[i],
                  atom_sharding_[static_cast<size_t>(node)][i],
@@ -601,6 +716,7 @@ class ViewTree {
     for (size_t i = 0; i < pn.children.size(); ++i) {
       auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
       if (parked == nullptr) continue;
+      if (obs_on) no.tuples_in += parked->size();
       Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
       std::span<const typename Relation<R>::Entry> entries(parked->begin(),
                                                            parked->size());
@@ -610,7 +726,29 @@ class ViewTree {
       parked.reset();
     }
     bool any = false;
-    for (const auto& b : buckets) any |= !b.empty();
+    size_t emitted = 0;
+    size_t max_bucket = 0;
+    for (const auto& b : buckets) {
+      any |= !b.empty();
+      emitted += b.size();
+      max_bucket = std::max(max_bucket, b.size());
+    }
+    if (obs_on) {
+      no.tuples_out += emitted;
+      const auto& m = detail::ViewTreeMetrics();
+      for (const auto& b : buckets) {
+        m.shard_delta_tuples->Record(static_cast<uint64_t>(b.size()));
+      }
+      if (emitted > 0) {
+        // Imbalance ratio max/mean, scaled by 100 (1.0 == perfectly even
+        // partition == 100). The histogram's p99 answers "how skewed do
+        // shard partitions get" across a whole run.
+        const double mean =
+            static_cast<double>(emitted) / static_cast<double>(S);
+        m.shard_imbalance_x100->Record(static_cast<uint64_t>(
+            100.0 * static_cast<double>(max_bucket) / mean));
+      }
+    }
     if (!any) return;
 
     ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
@@ -690,6 +828,7 @@ class ViewTree {
   /// Per node, per anchored atom / per child: how that source partitions.
   std::vector<std::vector<SourceSharding>> atom_sharding_;
   std::vector<std::vector<SourceSharding>> child_sharding_;
+  std::vector<NodeObs> node_stats_;
   std::unique_ptr<ThreadPool> pool_;  // null: sequential batch path
   size_t shards_ = 1;
 };

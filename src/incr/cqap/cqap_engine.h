@@ -72,27 +72,6 @@ class CqapEngine : public IvmEngine<R> {
   // single access Q(); otherwise it returns 0 and callers use Access).
   const char* name() const override { return "cqap"; }
 
-  size_t Enumerate(const Sink& sink) override {
-    if (!cqap_.input.empty()) return 0;
-    return Access(Tuple{}, sink);
-  }
-
-  /// Applies a single-tuple delta to every atom of relation `rel` across
-  /// all components. O(1) per atom for tractable CQAPs.
-  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
-    bool found = false;
-    for (size_t ci = 0; ci < trees_.size(); ++ci) {
-      const Query& cq = fracture_.components[ci].query;
-      for (size_t a = 0; a < cq.atoms().size(); ++a) {
-        if (cq.atoms()[a].relation == rel) {
-          trees_[ci]->UpdateAtom(a, t, m);
-          found = true;
-        }
-      }
-    }
-    INCR_CHECK(found);
-  }
-
   /// Access request: `input` holds one value per CQAP input variable, in
   /// the declared input order. Enumerates all output tuples with constant
   /// delay; returns their number.
@@ -108,6 +87,29 @@ class CqapEngine : public IvmEngine<R> {
   /// the payload for this input tuple is non-zero.
   bool Check(const Tuple& input) const {
     return Access(input, nullptr) > 0;
+  }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override {
+    if (!cqap_.input.empty()) return 0;
+    return Access(Tuple{}, sink);
+  }
+
+  /// Applies a single-tuple delta to every atom of relation `rel` across
+  /// all components. O(1) per atom for tractable CQAPs.
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& m) override {
+    bool found = false;
+    for (size_t ci = 0; ci < trees_.size(); ++ci) {
+      const Query& cq = fracture_.components[ci].query;
+      for (size_t a = 0; a < cq.atoms().size(); ++a) {
+        if (cq.atoms()[a].relation == rel) {
+          trees_[ci]->UpdateAtom(a, t, m);
+          found = true;
+        }
+      }
+    }
+    INCR_CHECK(found);
   }
 
  private:

@@ -11,16 +11,41 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "incr/data/dense_map.h"
 #include "incr/data/tuple.h"
+#include "incr/obs/metrics.h"
 #include "incr/ring/ring.h"
 #include "incr/util/hash.h"
 
 namespace incr {
+
+/// Process-wide shard count for delta partitioning and sharded W storage
+/// (DeltaShards, ShardedRelation, ViewTree::DefaultDeltaShards): the
+/// INCR_SHARDS environment variable if set to a positive integer, else 16.
+/// Read once at first use, then fixed for the process — results must never
+/// depend on shard count changing mid-run — and recorded as the
+/// "config.shards" gauge so every StatsSnapshot documents it.
+inline size_t NumShards() {
+  static const size_t kNumShards = [] {
+    size_t shards = 16;
+    if (const char* env = std::getenv("INCR_SHARDS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        shards = static_cast<size_t>(v);
+      }
+    }
+    obs::MetricsRegistry::Global().GetGauge("config.shards")->Set(
+        static_cast<int64_t>(shards));
+    return shards;
+  }();
+  return kNumShards;
+}
 
 /// A single-tuple delta addressed to an atom by position (the engines'
 /// internal currency: atom ids index Query::atoms()).

@@ -62,6 +62,10 @@ class DenseMap {
     entries_.reserve(n);
   }
 
+  /// Number of slot-table rebuilds (growth, tombstone purges, and Reserve)
+  /// since construction. Feeds the relation rehash counters.
+  size_t rehashes() const { return rehashes_; }
+
   /// Returns a pointer to the value for `key`, or nullptr.
   V* Find(const K& key) {
     size_t slot = FindSlot(key);
@@ -159,6 +163,7 @@ class DenseMap {
   }
 
   void Rebuild(size_t capacity) {
+    ++rehashes_;
     slots_.assign(capacity, kEmpty);
     tombstones_ = 0;
     size_t mask = capacity - 1;
@@ -172,6 +177,7 @@ class DenseMap {
   std::vector<Entry> entries_;
   std::vector<uint32_t> slots_;
   size_t tombstones_ = 0;
+  size_t rehashes_ = 0;
   [[no_unique_address]] Hash hash_{};
   [[no_unique_address]] Eq eq_{};
 };

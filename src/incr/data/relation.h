@@ -14,10 +14,35 @@
 #include "incr/data/grouped_index.h"
 #include "incr/data/schema.h"
 #include "incr/data/tuple.h"
+#include "incr/obs/metrics.h"
 #include "incr/ring/ring.h"
 #include "incr/util/thread_pool.h"
 
 namespace incr {
+
+namespace detail {
+// Batch-path metric handles, shared by every Relation<R> instantiation.
+// The single-tuple Apply() is deliberately left unhooked: it is the O(1)
+// per-update path whose latency the paper's claims are about.
+struct RelationMetricHandles {
+  obs::Counter* batch_deltas;   // entries seen by ApplyBatch
+  obs::Counter* batch_upserts;  // new tuples inserted
+  obs::Counter* batch_erases;   // tuples whose payload reached zero
+  obs::Counter* rehashes;       // DenseMap slot-table rebuilds during batches
+};
+inline const RelationMetricHandles& RelationMetrics() {
+  static const RelationMetricHandles h = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return RelationMetricHandles{
+        r.GetCounter("relation.batch_deltas"),
+        r.GetCounter("relation.batch_upserts"),
+        r.GetCounter("relation.batch_erases"),
+        r.GetCounter("relation.rehashes"),
+    };
+  }();
+  return h;
+}
+}  // namespace detail
 
 template <RingType R>
 class Relation {
@@ -66,9 +91,24 @@ class Relation {
   /// indexes are independent of one another and the op stream is fixed by
   /// then, so this is safe and deterministic.
   void ApplyBatch(std::span<const Entry> batch, ThreadPool* pool = nullptr) {
+    const bool obs_on = obs::Enabled();
+    const size_t rehashes_before = obs_on ? data_.rehashes() : 0;
     data_.Reserve(data_.size() + batch.size());
     if (indexes_.empty()) {
-      for (const Entry& e : batch) ApplyUnindexed(e.key, e.value);
+      size_t upserts = 0;
+      size_t erases = 0;
+      for (const Entry& e : batch) {
+        int net = ApplyUnindexed(e.key, e.value);
+        if (net > 0) ++upserts;
+        if (net < 0) ++erases;
+      }
+      if (obs_on) {
+        const auto& m = detail::RelationMetrics();
+        m.batch_deltas->Add(batch.size());
+        m.batch_upserts->Add(upserts);
+        m.batch_erases->Add(erases);
+        m.rehashes->Add(data_.rehashes() - rehashes_before);
+      }
       return;
     }
     // (entry index, is_insert) event stream; tuples are read back from the
@@ -91,6 +131,13 @@ class Relation {
         data_.Erase(e.key);
         ops.emplace_back(i, false);
       }
+    }
+    if (obs_on) {
+      const auto& m = detail::RelationMetrics();
+      m.batch_deltas->Add(batch.size());
+      m.batch_upserts->Add(inserts);
+      m.batch_erases->Add(ops.size() - inserts);
+      m.rehashes->Add(data_.rehashes() - rehashes_before);
     }
     auto replay = [&](size_t k) {
       GroupedIndex& idx = *indexes_[k];
@@ -144,15 +191,20 @@ class Relation {
   void Reserve(size_t n) { data_.Reserve(n); }
 
  private:
-  void ApplyUnindexed(const Tuple& t, const RV& d) {
-    if (R::IsZero(d)) return;
+  // Returns +1 for a fresh insert, -1 for an erase-to-zero, 0 otherwise.
+  int ApplyUnindexed(const Tuple& t, const RV& d) {
+    if (R::IsZero(d)) return 0;
     RV* existing = data_.Find(t);
     if (existing == nullptr) {
       data_.GetOrInsert(t, d);
-      return;
+      return 1;
     }
     *existing = R::Add(*existing, d);
-    if (R::IsZero(*existing)) data_.Erase(t);
+    if (R::IsZero(*existing)) {
+      data_.Erase(t);
+      return -1;
+    }
+    return 0;
   }
 
   Schema schema_;

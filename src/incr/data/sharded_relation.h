@@ -10,7 +10,9 @@
 // (routing short-circuits before hashing). The shard count is a layout
 // property set by Reshard(), deliberately decoupled from the thread count:
 // parallel results must not depend on how many threads exist, so callers fix
-// the shard count and let threads pick up shards dynamically.
+// the shard count and let threads pick up shards dynamically. The view tree
+// sizes its sharded W storage from NumShards() in data/delta.h (INCR_SHARDS
+// env var, default 16).
 #ifndef INCR_DATA_SHARDED_RELATION_H_
 #define INCR_DATA_SHARDED_RELATION_H_
 

@@ -14,6 +14,15 @@
 //   * Enumerate(sink): the engine's primary output. Engines that only
 //     maintain an aggregate, or that need per-request inputs (CQAP access
 //     requests), return 0 and expose their richer native calls alongside.
+//
+// The public entry points are non-virtual instrumented wrappers; engines
+// implement the protected *Impl virtuals. With obs enabled, every engine
+// gets a per-update latency histogram ("engine.<name>.update_ns"), batch
+// latency and size ("engine.<name>.batch_ns" / ".batch_deltas"), and an
+// enumeration-delay histogram ("engine.<name>.enum_delay_ns" — total
+// enumeration time divided by tuples produced, the paper's constant-delay
+// claim made measurable). With obs disabled each wrapper is one predicted
+// branch in front of the virtual call.
 #ifndef INCR_ENGINES_ENGINE_H_
 #define INCR_ENGINES_ENGINE_H_
 
@@ -26,6 +35,8 @@
 
 #include "incr/core/view_tree.h"
 #include "incr/data/delta.h"
+#include "incr/obs/metrics.h"
+#include "incr/obs/trace.h"
 #include "incr/query/query.h"
 #include "incr/ring/ring.h"
 #include "incr/util/thread_pool.h"
@@ -67,7 +78,7 @@ DeltaBatch<R> MergeNamedBatch(const ViewTree<R>& tree,
     }
   };
   ThreadPool* pool = tree.pool();
-  constexpr size_t kChunks = ViewTree<R>::kDefaultDeltaShards;
+  const size_t kChunks = ViewTree<R>::DefaultDeltaShards();
   if (pool == nullptr || batch.size() < 2 * kChunks) {
     add_range(&merged, 0, batch.size());
     return merged;
@@ -96,13 +107,51 @@ class IvmEngine {
   virtual const char* name() const = 0;
 
   /// Applies a single-tuple delta to every atom of relation `rel`.
-  virtual void Update(const std::string& rel, const Tuple& t,
-                      const RV& d) = 0;
+  /// Instrumented facade over UpdateImpl: records the per-update latency
+  /// histogram. No trace span — single updates are too fine-grained for
+  /// span-per-call (the histogram carries the distribution instead).
+  void Update(const std::string& rel, const Tuple& t, const RV& d) {
+    if (!obs::Enabled()) {
+      UpdateImpl(rel, t, d);
+      return;
+    }
+    EnsureObsHandles();
+    const uint64_t t0 = obs::NowNs();
+    UpdateImpl(rel, t, d);
+    update_ns_->Record(obs::NowNs() - t0);
+  }
 
-  /// Applies a batch of deltas. Default: sequential per-tuple application;
-  /// engines with a bulk path override this.
-  virtual void ApplyBatch(Batch batch) {
-    for (const Delta<R>& e : batch) Update(e.relation, e.tuple, e.delta);
+  /// Applies a batch of deltas (facade over ApplyBatchImpl): one trace
+  /// span plus batch latency/size metrics per call.
+  void ApplyBatch(Batch batch) {
+    if (!obs::Enabled()) {
+      ApplyBatchImpl(batch);
+      return;
+    }
+    EnsureObsHandles();
+    obs::TraceSpan span(batch_span_name_.c_str());
+    span.AddArg("deltas", static_cast<uint64_t>(batch.size()));
+    const uint64_t t0 = obs::NowNs();
+    ApplyBatchImpl(batch);
+    batch_ns_->Record(obs::NowNs() - t0);
+    batch_deltas_->Add(batch.size());
+  }
+
+  /// Enumerates the engine's current output; returns the number of tuples.
+  /// Pass a null sink to only count. Aggregate-only and per-request
+  /// engines return 0 (their native calls expose the richer output).
+  /// Facade over EnumerateImpl: records total time and per-tuple delay.
+  size_t Enumerate(const Sink& sink) {
+    if (!obs::Enabled()) return EnumerateImpl(sink);
+    EnsureObsHandles();
+    obs::TraceSpan span(enum_span_name_.c_str());
+    const uint64_t t0 = obs::NowNs();
+    size_t n = EnumerateImpl(sink);
+    const uint64_t dur = obs::NowNs() - t0;
+    enum_ns_->Record(dur);
+    if (n > 0) enum_delay_ns_->Record(dur / n);
+    span.AddArg("tuples", static_cast<uint64_t>(n));
+    return n;
   }
 
   /// Requests batch maintenance on `threads` threads (0 = the default from
@@ -111,10 +160,43 @@ class IvmEngine {
   /// path have nothing to parallelize.
   virtual void SetThreads(size_t threads) { (void)threads; }
 
-  /// Enumerates the engine's current output; returns the number of tuples.
-  /// Pass a null sink to only count. Aggregate-only and per-request
-  /// engines return 0 (their native calls expose the richer output).
-  virtual size_t Enumerate(const Sink& sink) = 0;
+ protected:
+  /// Engine implementations. ApplyBatchImpl's default is a sequential
+  /// per-tuple loop over UpdateImpl (not Update — the facade must not
+  /// count each batched tuple as a standalone update).
+  virtual void UpdateImpl(const std::string& rel, const Tuple& t,
+                          const RV& d) = 0;
+  virtual void ApplyBatchImpl(Batch batch) {
+    for (const Delta<R>& e : batch) UpdateImpl(e.relation, e.tuple, e.delta);
+  }
+  virtual size_t EnumerateImpl(const Sink& sink) = 0;
+
+ private:
+  /// Lazily resolves the per-engine metric handles ("engine.<name>.*") —
+  /// lazy because name() is virtual and unavailable during construction.
+  /// Engines are driven single-threaded, so no synchronization here.
+  void EnsureObsHandles() {
+    if (update_ns_ != nullptr) return;
+    auto& r = obs::MetricsRegistry::Global();
+    const std::string prefix = std::string("engine.") + name() + ".";
+    update_ns_ = r.GetHistogram(prefix + "update_ns");
+    batch_ns_ = r.GetHistogram(prefix + "batch_ns");
+    batch_deltas_ = r.GetCounter(prefix + "batch_deltas");
+    enum_ns_ = r.GetHistogram(prefix + "enum_ns");
+    enum_delay_ns_ = r.GetHistogram(prefix + "enum_delay_ns");
+    // Span names live in the engine so TraceSpan's const char* stays valid
+    // for the span's (scope-bound) lifetime.
+    batch_span_name_ = prefix + "apply_batch";
+    enum_span_name_ = prefix + "enumerate";
+  }
+
+  obs::Histogram* update_ns_ = nullptr;
+  obs::Histogram* batch_ns_ = nullptr;
+  obs::Counter* batch_deltas_ = nullptr;
+  obs::Histogram* enum_ns_ = nullptr;
+  obs::Histogram* enum_delay_ns_ = nullptr;
+  std::string batch_span_name_;
+  std::string enum_span_name_;
 };
 
 /// The plainest engine: a bare view tree driven eagerly. Unlike
@@ -133,17 +215,22 @@ class ViewTreeEngine : public IvmEngine<R> {
 
   const char* name() const override { return "view-tree"; }
 
-  void Update(const std::string& rel, const Tuple& t, const RV& d) override {
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  ViewTree<R>& tree() { return tree_; }
+  const ViewTree<R>& tree() const { return tree_; }
+
+ protected:
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& d) override {
     tree_.Update(rel, t, d);
   }
 
-  void ApplyBatch(Batch batch) override {
+  void ApplyBatchImpl(Batch batch) override {
     tree_.ApplyBatch(MergeNamedBatch(tree_, batch));
   }
 
-  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
-
-  size_t Enumerate(const Sink& sink) override {
+  size_t EnumerateImpl(const Sink& sink) override {
     if (!tree_.plan().CanEnumerate().ok()) return 0;
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
@@ -152,9 +239,6 @@ class ViewTreeEngine : public IvmEngine<R> {
     }
     return n;
   }
-
-  ViewTree<R>& tree() { return tree_; }
-  const ViewTree<R>& tree() const { return tree_; }
 
  private:
   ViewTree<R> tree_;

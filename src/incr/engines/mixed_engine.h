@@ -65,7 +65,14 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
   // it (aggregate-only plans return 0).
   const char* name() const override { return "mixed-static-dynamic"; }
 
-  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  const ViewTree<R>& tree() const { return tree_; }
+  RV Aggregate() const { return tree_.Aggregate(); }
+
+ protected:
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& m) override {
     size_t n = ForEachAtomNamed(tree_.query(), rel, [&](size_t a) {
       Status st = UpdateDynamic(a, t, m);
       INCR_CHECK(st.ok());
@@ -75,7 +82,7 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
 
   /// Bulk path: one node-at-a-time traversal for the whole batch (parallel
   /// under SetThreads). Every named delta must address a dynamic atom only.
-  void ApplyBatch(typename IvmEngine<R>::Batch batch) override {
+  void ApplyBatchImpl(typename IvmEngine<R>::Batch batch) override {
     INCR_CHECK(sealed_);
     DeltaBatch<R> merged = MergeNamedBatch(tree_, batch);
     for (size_t a = 0; a < merged.num_atoms(); ++a) {
@@ -84,9 +91,7 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
     tree_.ApplyBatch(merged);
   }
 
-  void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
-
-  size_t Enumerate(const Sink& sink) override {
+  size_t EnumerateImpl(const Sink& sink) override {
     if (!tree_.plan().CanEnumerate().ok()) return 0;
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
@@ -95,9 +100,6 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
     }
     return n;
   }
-
-  const ViewTree<R>& tree() const { return tree_; }
-  RV Aggregate() const { return tree_.Aggregate(); }
 
  private:
   MixedStaticDynamicEngine(ViewTree<R> tree, std::vector<bool> is_static)

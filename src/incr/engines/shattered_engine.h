@@ -35,6 +35,10 @@ class ShatteredEngine : public IvmEngine<R> {
   /// Receives (small-variable assignment, residual output tuple, payload).
   using ShardSink =
       std::function<void(const Tuple&, const Tuple&, const RV&)>;
+  // The atom-addressed Update and the ShardSink Enumerate below would
+  // otherwise hide the instrumented name-routed facades.
+  using IvmEngine<R>::Update;
+  using IvmEngine<R>::Enumerate;
 
   static StatusOr<ShatteredEngine> Make(const Query& q, Schema small) {
     if (small.empty()) {
@@ -147,13 +151,15 @@ class ShatteredEngine : public IvmEngine<R> {
   // tuple.
   const char* name() const override { return "shattered"; }
 
-  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+ protected:
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& m) override {
     size_t n =
         ForEachAtomNamed(query_, rel, [&](size_t a) { Update(a, t, m); });
     INCR_CHECK(n > 0);
   }
 
-  size_t Enumerate(const Sink& sink) override {
+  size_t EnumerateImpl(const Sink& sink) override {
     return Enumerate([&](const Tuple& small, const Tuple& rest,
                          const RV& p) {
       if (sink) sink(ConcatTuple(small, rest), p);

@@ -47,11 +47,17 @@ class IvmStrategy : public IvmEngine<R> {
   using RV = typename R::Value;
   using typename IvmEngine<R>::Sink;
   using AtomBatch = std::span<const AtomDelta<R>>;
+  // Keep the instrumented name-routed facade visible next to the
+  // atom-addressed overloads declared below.
+  using IvmEngine<R>::Update;
+  using IvmEngine<R>::ApplyBatch;
 
   /// The query the strategy maintains (used for name -> atom routing).
   virtual const Query& query() const = 0;
 
-  /// Applies a single-tuple delta to an atom's relation.
+  /// Applies a single-tuple delta to an atom's relation. This is the
+  /// benches' hot path and is deliberately not wrapped by the facade —
+  /// benches time it themselves.
   virtual void Update(size_t atom_id, const Tuple& t, const RV& m) = 0;
 
   /// Applies a batch of atom-addressed deltas. Default: per-tuple loop;
@@ -60,14 +66,16 @@ class IvmStrategy : public IvmEngine<R> {
     for (const AtomDelta<R>& e : batch) Update(e.atom, e.tuple, e.delta);
   }
 
-  // IvmEngine entry points: route relation names to atom occurrences.
-  void Update(const std::string& rel, const Tuple& t, const RV& m) override {
+ protected:
+  // IvmEngine implementation: route relation names to atom occurrences.
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& m) override {
     size_t n =
         ForEachAtomNamed(query(), rel, [&](size_t a) { Update(a, t, m); });
     INCR_CHECK(n > 0);
   }
 
-  void ApplyBatch(typename IvmEngine<R>::Batch batch) override {
+  void ApplyBatchImpl(typename IvmEngine<R>::Batch batch) override {
     std::vector<AtomDelta<R>> resolved;
     resolved.reserve(batch.size());
     for (const Delta<R>& e : batch) {
@@ -105,7 +113,12 @@ class EagerFactStrategy : public IvmStrategy<R> {
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
-  size_t Enumerate(const Sink& sink) override {
+  const char* name() const override { return "eager-fact"; }
+
+  const ViewTree<R>& tree() const { return tree_; }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override {
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
       if (sink) sink(it.tuple(), it.payload());
@@ -113,10 +126,6 @@ class EagerFactStrategy : public IvmStrategy<R> {
     }
     return n;
   }
-
-  const char* name() const override { return "eager-fact"; }
-
-  const ViewTree<R>& tree() const { return tree_; }
 
  private:
   ViewTree<R> tree_;
@@ -150,16 +159,17 @@ class EagerListStrategy : public IvmStrategy<R> {
         });
   }
 
-  size_t Enumerate(const Sink& sink) override {
+  const char* name() const override { return "eager-list"; }
+
+  const Relation<R>& output() const { return out_; }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override {
     if (sink) {
       for (const auto& e : out_) sink(e.key, e.value);
     }
     return out_.size();
   }
-
-  const char* name() const override { return "eager-list"; }
-
-  const Relation<R>& output() const { return out_; }
 
  private:
   static_assert(R::kHasNegation,
@@ -194,7 +204,10 @@ class LazyFactStrategy : public IvmStrategy<R> {
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
-  size_t Enumerate(const Sink& sink) override {
+  const char* name() const override { return "lazy-fact"; }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override {
     tree_.ApplyBatch(buffer_);
     buffer_.Clear();
     size_t n = 0;
@@ -204,8 +217,6 @@ class LazyFactStrategy : public IvmStrategy<R> {
     }
     return n;
   }
-
-  const char* name() const override { return "lazy-fact"; }
 
  private:
   ViewTree<R> tree_;
@@ -236,7 +247,10 @@ class LazyListStrategy : public IvmStrategy<R> {
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
-  size_t Enumerate(const Sink& sink) override {
+  const char* name() const override { return "lazy-list"; }
+
+ protected:
+  size_t EnumerateImpl(const Sink& sink) override {
     tree_.Rebuild();
     size_t n = 0;
     std::vector<std::pair<Tuple, RV>> list;
@@ -249,8 +263,6 @@ class LazyListStrategy : public IvmStrategy<R> {
     }
     return n;
   }
-
-  const char* name() const override { return "lazy-list"; }
 
  private:
   ViewTree<R> tree_;

@@ -1,0 +1,117 @@
+#include "incr/obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "incr/version.h"
+
+namespace incr::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+uint32_t LocalTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* g = new Tracer();  // never destroyed
+  return *g;
+}
+
+Tracer::Tracer() {
+  // INCR_TRACE=<path> starts a session immediately and flushes it at
+  // process exit, so one env var is enough to trace any binary.
+  const char* path = std::getenv("INCR_TRACE");
+  if (path != nullptr && path[0] != '\0' && Enabled()) {
+    std::atexit([] { Tracer::Global().StopSession(); });
+    StartSession(path);
+  }
+}
+
+Tracer::Buffer& Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<Buffer> local;
+  if (!local) {
+    local = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(local);
+  }
+  return *local;
+}
+
+bool Tracer::StartSession(const std::string& path) {
+  if (!Enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.load(std::memory_order_relaxed)) return false;
+  path_ = path;
+  // Drop anything buffered after the previous session stopped.
+  for (auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+  active_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool Tracer::StopSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!active_.load(std::memory_order_relaxed)) return false;
+  // Stop recording first so in-flight spans closing during the merge are
+  // dropped rather than racing the drain.
+  active_.store(false, std::memory_order_relaxed);
+
+  std::vector<Event> all;
+  for (auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    all.insert(all.end(), std::make_move_iterator(b->events.begin()),
+               std::make_move_iterator(b->events.end()));
+    b->events.clear();
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.start_ns < b.start_ns;
+  });
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    // Chrome expects ts/dur in microseconds; fractional values keep the
+    // nanosecond resolution.
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+                 "\"dur\": %.3f, \"pid\": 1, \"tid\": %u",
+                 JsonEscape(e.name).c_str(),
+                 static_cast<double>(e.start_ns) / 1000.0,
+                 static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+    if (!e.args_json.empty()) {
+      std::fprintf(f, ", \"args\": {%s}", e.args_json.c_str());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "], \"displayTimeUnit\": \"ms\", \"otherData\": %s}\n",
+               BuildInfoJson().c_str());
+  std::fclose(f);
+  return true;
+}
+
+void Tracer::EmitComplete(const char* name, uint64_t start_ns,
+                          uint64_t dur_ns, std::string args_json) {
+  if (!Active()) return;  // session ended while the span was open
+  Buffer& b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.events.push_back(
+      Event{name, start_ns, dur_ns, LocalTid(), std::move(args_json)});
+}
+
+}  // namespace incr::obs

@@ -1,0 +1,142 @@
+// Scoped-span tracing to Chrome trace_event JSON (load the output in
+// chrome://tracing or https://ui.perfetto.dev). See DESIGN.md §obs for the
+// span taxonomy.
+//
+// Usage:
+//   obs::TraceSpan span("viewtree.apply_batch");
+//   span.AddArg("deltas", n);
+//   ... work ...   // span closes at scope exit
+//
+// Sessions are explicit: Tracer::Global().StartSession(path) begins
+// recording, StopSession() merges every thread's buffer, sorts by start
+// time, and writes the file. Setting INCR_TRACE=<path> in the environment
+// starts a session at first use and flushes it at process exit. When no
+// session is active (or obs is disabled) span construction is a pair of
+// relaxed loads and records nothing.
+#ifndef INCR_OBS_TRACE_H_
+#define INCR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "incr/obs/metrics.h"
+
+namespace incr::obs {
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t NowNs();
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Begins a recording session writing to `path` on StopSession. Drops
+  /// any events buffered since the previous session. Returns false (and
+  /// does nothing) if a session is already active or obs is disabled.
+  bool StartSession(const std::string& path);
+
+  /// Ends the session: merges all per-thread buffers, sorts events by
+  /// start time, writes Chrome trace_event JSON. Returns false when no
+  /// session is active or the file cannot be written.
+  bool StopSession();
+
+  bool Active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Appends one complete ("ph":"X") event from the calling thread.
+  /// `args_json` is the inner body of the args object ("" for none).
+  void EmitComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                    std::string args_json);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+
+  struct Event {
+    std::string name;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+    uint32_t tid;
+    std::string args_json;
+  };
+  // One buffer per thread, owned jointly by the thread (thread_local
+  // shared_ptr) and the registry, so buffers survive thread exit until
+  // the session flushes. The per-buffer mutex is only contended at
+  // session boundaries.
+  struct Buffer {
+    std::mutex mu;
+    std::vector<Event> events;
+  };
+
+  Buffer& LocalBuffer();
+
+  std::atomic<bool> active_{false};
+  std::mutex mu_;  // guards path_ and buffers_ registration
+  std::string path_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+};
+
+#ifdef INCR_OBS_DISABLED
+/// Compile-time-disabled spans: everything folds away.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  void AddArg(const char*, uint64_t) {}
+  void AddArg(const char*, const std::string&) {}
+};
+#else
+/// RAII scoped span. Construction with no active session is two relaxed
+/// loads; with a session it timestamps and the destructor appends one
+/// complete event to the thread's buffer.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (!Enabled()) return;
+    Tracer& t = Tracer::Global();
+    if (!t.Active()) return;
+    name_ = name;
+    start_ns_ = NowNs();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::Global().EmitComplete(name_, start_ns_, NowNs() - start_ns_,
+                                    std::move(args_));
+    }
+  }
+
+  void AddArg(const char* key, uint64_t v) {
+    if (name_ == nullptr) return;
+    AppendKey(key);
+    args_ += std::to_string(v);
+  }
+  void AddArg(const char* key, const std::string& v) {
+    if (name_ == nullptr) return;
+    AppendKey(key);
+    args_ += "\"" + JsonEscape(v) + "\"";
+  }
+
+ private:
+  void AppendKey(const char* key) {
+    if (!args_.empty()) args_ += ", ";
+    args_ += "\"";
+    args_ += key;
+    args_ += "\": ";
+  }
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  std::string args_;
+};
+#endif
+
+}  // namespace incr::obs
+
+#endif  // INCR_OBS_TRACE_H_

@@ -14,14 +14,21 @@ double Mean(const std::vector<double>& xs) {
   return acc / static_cast<double>(xs.size());
 }
 
-double Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  INCR_CHECK(p >= 0.0 && p <= 100.0);
-  std::sort(xs.begin(), xs.end());
+size_t NearestRank(size_t n, double p) {
+  INCR_CHECK(n > 0);
+  if (p <= 0.0) return 0;
+  if (p >= 100.0) return n - 1;
   size_t rank = static_cast<size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+      std::ceil(p / 100.0 * static_cast<double>(n)));
   if (rank > 0) --rank;
-  return xs[std::min(rank, xs.size() - 1)];
+  return std::min(rank, n - 1);
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  INCR_CHECK(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[NearestRank(xs.size(), p)];
 }
 
 double Max(const std::vector<double>& xs) {

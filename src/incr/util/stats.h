@@ -12,7 +12,16 @@ namespace incr {
 /// Arithmetic mean; 0 for empty input.
 double Mean(const std::vector<double>& xs);
 
+/// Nearest-rank index for the p-th percentile over n sorted samples:
+/// p <= 0 selects index 0, p >= 100 selects n-1, otherwise
+/// ceil(p/100 * n) - 1. Requires n > 0. Shared by Percentile and the
+/// observability histograms (obs/metrics.h) so both report identical ranks.
+size_t NearestRank(size_t n, double p);
+
 /// p-th percentile (p in [0,100]) by nearest-rank on a sorted copy.
+/// Edge cases: empty input returns 0; p=0 returns the minimum; p=100 the
+/// maximum; a single element is returned for every p. p outside [0,100]
+/// is a checked error even for empty input.
 double Percentile(std::vector<double> xs, double p);
 
 /// Maximum; 0 for empty input.

@@ -2,7 +2,42 @@
 
 #include <cstdlib>
 
+#include "incr/obs/metrics.h"
+#include "incr/obs/trace.h"
+
 namespace incr {
+
+namespace {
+
+// Handles cached once; registration is idempotent and the pointers live
+// for the process lifetime.
+struct PoolMetrics {
+  obs::Counter* jobs;
+  obs::Counter* tasks;
+  obs::Counter* caller_tasks;
+  obs::Counter* stolen_tasks;
+  obs::Histogram* job_ns;
+  obs::Histogram* task_ns;
+  obs::Histogram* wake_ns;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics m = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return PoolMetrics{
+        r.GetCounter("threadpool.jobs"),
+        r.GetCounter("threadpool.tasks"),
+        r.GetCounter("threadpool.caller_tasks"),
+        r.GetCounter("threadpool.stolen_tasks"),
+        r.GetHistogram("threadpool.job_ns"),
+        r.GetHistogram("threadpool.task_ns"),
+        r.GetHistogram("threadpool.wake_ns"),
+    };
+  }();
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
@@ -24,8 +59,20 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  const bool obs_on = obs::Enabled();
+  obs::TraceSpan span("threadpool.parallel_for");
+  span.AddArg("n", static_cast<uint64_t>(n));
+  const uint64_t job_start = obs_on ? obs::NowNs() : 0;
+  if (obs_on) {
+    Metrics().jobs->Inc();
+    Metrics().tasks->Add(n);
+  }
   if (workers_.empty() || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
+    if (obs_on) {
+      Metrics().caller_tasks->Add(n);
+      Metrics().job_ns->Record(obs::NowNs() - job_start);
+    }
     return;
   }
   {
@@ -40,10 +87,13 @@ void ThreadPool::ParallelFor(size_t n,
     job_n_ = n;
     next_.store(0, std::memory_order_relaxed);
     pending_.store(n, std::memory_order_relaxed);
+    job_submit_ns_.store(obs_on ? obs::NowNs() : 0,
+                         std::memory_order_relaxed);
     ++epoch_;
   }
   wake_cv_.notify_all();
-  RunTasks(&fn, n);  // the calling thread participates
+  size_t mine = RunTasks(&fn, n);  // the calling thread participates
+  if (obs_on) Metrics().caller_tasks->Add(mine);
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] {
@@ -52,13 +102,24 @@ void ThreadPool::ParallelFor(size_t n,
     job_fn_ = nullptr;
   }
   idle_cv_.notify_all();
+  if (obs_on) Metrics().job_ns->Record(obs::NowNs() - job_start);
 }
 
-void ThreadPool::RunTasks(const std::function<void(size_t)>* fn, size_t n) {
+size_t ThreadPool::RunTasks(const std::function<void(size_t)>* fn,
+                            size_t n) {
+  const bool obs_on = obs::Enabled();
+  size_t executed = 0;
   for (;;) {
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= n) return;
-    (*fn)(i);
+    if (i >= n) return executed;
+    if (obs_on) {
+      const uint64_t t0 = obs::NowNs();
+      (*fn)(i);
+      Metrics().task_ns->Record(obs::NowNs() - t0);
+    } else {
+      (*fn)(i);
+    }
+    ++executed;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
@@ -77,9 +138,17 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(size_t)>* fn = job_fn_;
     size_t n = job_n_;
     if (fn == nullptr) continue;  // job already finished and was cleared
+    const uint64_t submit_ns = job_submit_ns_.load(std::memory_order_relaxed);
     ++active_workers_;
     lock.unlock();
-    RunTasks(fn, n);
+    if (submit_ns != 0 && obs::Enabled()) {
+      const uint64_t now = obs::NowNs();
+      if (now > submit_ns) Metrics().wake_ns->Record(now - submit_ns);
+    }
+    size_t executed = RunTasks(fn, n);
+    if (executed > 0 && obs::Enabled()) {
+      Metrics().stolen_tasks->Add(executed);
+    }
     lock.lock();
     if (--active_workers_ == 0) idle_cv_.notify_all();
   }

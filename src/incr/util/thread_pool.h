@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -63,7 +64,9 @@ class ThreadPool {
 
  private:
   void WorkerLoop();
-  void RunTasks(const std::function<void(size_t)>* fn, size_t n);
+  // Claims and runs tasks until the job is drained; returns how many this
+  // thread executed (fed into the caller/stolen task counters).
+  size_t RunTasks(const std::function<void(size_t)>* fn, size_t n);
 
   std::vector<std::thread> workers_;
 
@@ -78,6 +81,9 @@ class ThreadPool {
   bool stop_ = false;                                    // guarded by mu_
   std::atomic<size_t> next_{0};     // next unclaimed index of the job
   std::atomic<size_t> pending_{0};  // tasks not yet finished
+  // Submission timestamp of the current job (obs::NowNs), 0 when metrics
+  // are off — lets woken workers report their wake latency.
+  std::atomic<uint64_t> job_submit_ns_{0};
 };
 
 }  // namespace incr

@@ -1,16 +1,52 @@
-// Library version.
+// Library version and build provenance. The INCR_GIT_COMMIT and
+// INCR_SANITIZE_NAME macros are injected by CMake (see the top-level
+// CMakeLists.txt); the fallbacks below keep non-CMake builds compiling.
 #ifndef INCR_VERSION_H_
 #define INCR_VERSION_H_
+
+#include <string>
+
+#include "incr/util/thread_pool.h"
 
 #define INCR_VERSION_MAJOR 1
 #define INCR_VERSION_MINOR 0
 #define INCR_VERSION_PATCH 0
 #define INCR_VERSION_STRING "1.0.0"
 
+#ifndef INCR_GIT_COMMIT
+#define INCR_GIT_COMMIT "unknown"
+#endif
+#ifndef INCR_SANITIZE_NAME
+#define INCR_SANITIZE_NAME "none"
+#endif
+
 namespace incr {
 
 /// Returns "major.minor.patch".
 inline const char* Version() { return INCR_VERSION_STRING; }
+
+/// Build provenance as one JSON object: library version, git commit,
+/// compiler, sanitizer config, and the effective worker-thread count.
+/// Embedded in every StatsSnapshot and BENCH_*.json header so benchmark
+/// trajectories stay attributable to the build that produced them.
+inline std::string BuildInfoJson() {
+  std::string out = "{\"version\": \"" INCR_VERSION_STRING "\"";
+  out += ", \"commit\": \"" INCR_GIT_COMMIT "\"";
+#if defined(__VERSION__)
+  out += ", \"compiler\": \"";
+  for (const char* p = __VERSION__; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out += '\\';
+    out += *p;
+  }
+  out += "\"";
+#else
+  out += ", \"compiler\": \"unknown\"";
+#endif
+  out += ", \"sanitizer\": \"" INCR_SANITIZE_NAME "\"";
+  out += ", \"threads\": " + std::to_string(ThreadPool::DefaultThreads());
+  out += "}";
+  return out;
+}
 
 }  // namespace incr
 

@@ -166,6 +166,38 @@ TEST(StatsTest, MeanPercentileMax) {
   EXPECT_DOUBLE_EQ(Mean({}), 0.0);
 }
 
+TEST(StatsTest, PercentileEdgeCases) {
+  // Empty input: 0 regardless of p.
+  EXPECT_DOUBLE_EQ(Percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 100), 0.0);
+  // Single element: returned for every p.
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100), 7.0);
+  // p=0 is the minimum, p=100 the maximum.
+  std::vector<double> xs = {9, 2, 7, 4};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 9.0);
+  // Nearest-rank interior points.
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 75), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 99), 9.0);
+}
+
+TEST(StatsTest, NearestRank) {
+  EXPECT_EQ(NearestRank(1, 0), 0u);
+  EXPECT_EQ(NearestRank(1, 100), 0u);
+  EXPECT_EQ(NearestRank(4, 0), 0u);
+  EXPECT_EQ(NearestRank(4, 25), 0u);
+  EXPECT_EQ(NearestRank(4, 50), 1u);
+  EXPECT_EQ(NearestRank(4, 75), 2u);
+  EXPECT_EQ(NearestRank(4, 100), 3u);
+  EXPECT_EQ(NearestRank(100, 50), 49u);
+  EXPECT_EQ(NearestRank(100, 99), 98u);
+}
+
 TEST(StatsTest, LogLogSlopeRecoversExponent) {
   std::vector<double> x, y;
   for (double n = 1000; n <= 1e6; n *= 10) {

@@ -1,0 +1,234 @@
+// E16: write-ahead logging overhead and recovery throughput (DESIGN.md
+// §durability).
+//
+// Part 1 measures the cost of durability on the q-hierarchical single-tuple
+// fast path: the same update stream is driven through a bare ViewTreeEngine
+// (no log), a DurableEngine with group commit (the default), and a
+// DurableEngine flushing every append (group_commit_window_us = 0). All
+// logged modes run with fsync off, so the comparison isolates the logging
+// work (encode + CRC + buffered write) from disk latency. Expected shape:
+// group-commit logging stays within 2x of the unlogged engine — the
+// acceptance bar — while flush-per-append pays the syscall on every update.
+//
+// Part 2 measures batch logging (one record per 1k-delta batch), checkpoint
+// cost, and recovery replay throughput (records/s through the normal
+// Update/ApplyBatch path). Results land in BENCH_wal.json.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "incr/engines/durable_engine.h"
+#include "incr/engines/engine.h"
+#include "incr/ring/int_ring.h"
+#include "incr/store/recover.h"
+#include "incr/util/rng.h"
+#include "incr/util/stopwatch.h"
+
+using namespace incr;
+using namespace incr::bench;
+
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2 };
+
+bool SmokeMode() {
+  const char* v = std::getenv("INCR_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+std::unique_ptr<IvmEngine<IntRing>> MakeEngine() {
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  INCR_CHECK(tree.ok());
+  return std::make_unique<ViewTreeEngine<IntRing>>(*std::move(tree));
+}
+
+std::vector<Delta<IntRing>> DrawUpdates(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Delta<IntRing>> out;
+  out.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Delta<IntRing> d;
+    d.relation.assign(rng.Chance(0.5) ? "R" : "S", 1);
+    d.tuple = Tuple{rng.UniformInt(0, n / 4 + 1), rng.UniformInt(0, 999)};
+    d.delta = 1;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+const char* kDir = "/tmp/incr_bench_wal";
+
+void ResetDir() {
+  std::remove(store::WalPath(kDir).c_str());
+  std::remove(store::SnapshotPath(kDir).c_str());
+}
+
+EngineOptions DurableOpts(uint32_t window_us) {
+  EngineOptions opts;
+  opts.durability_dir = kDir;
+  opts.fsync = false;  // isolate logging cost from disk latency
+  opts.group_commit_window_us = window_us;
+  return opts;
+}
+
+double RunSingles(IvmEngine<IntRing>& e,
+                  const std::vector<Delta<IntRing>>& updates) {
+  Stopwatch sw;
+  for (const auto& d : updates) e.Update(d.relation, d.tuple, d.delta);
+  return sw.ElapsedSeconds();
+}
+
+double RunBatches(IvmEngine<IntRing>& e,
+                  const std::vector<Delta<IntRing>>& updates, size_t batch) {
+  Stopwatch sw;
+  for (size_t off = 0; off < updates.size(); off += batch) {
+    size_t n = std::min(batch, updates.size() - off);
+    e.ApplyBatch(std::span<const Delta<IntRing>>(updates.data() + off, n));
+  }
+  return sw.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const int64_t n_single = smoke ? 20000 : 500000;
+  const int64_t n_batch = smoke ? 20000 : 500000;
+  const size_t batch = 1000;
+  JsonArrayWriter json;
+
+  INCR_CHECK(store::EnsureDir(kDir).ok());
+
+  Section("single-tuple updates: logged vs unlogged");
+  Row({"mode", "ops", "ns/op", "overhead"});
+  auto updates = DrawUpdates(n_single, 42);
+
+  auto unlogged = MakeEngine();
+  double base_s = RunSingles(*unlogged, updates);
+  double base_ns = NsPerOp(base_s, n_single);
+  Row({"unlogged", FmtInt(n_single), Fmt(base_ns), "1.00x"});
+  json.BeginObject();
+  json.Field("section", std::string("single"));
+  json.Field("mode", std::string("unlogged"));
+  json.Field("ops", n_single);
+  json.Field("ns_per_op", base_ns);
+  json.Field("overhead_x", 1.0);
+  json.EndObject();
+
+  struct Mode {
+    const char* name;
+    uint32_t window_us;
+  };
+  double group_overhead = 0;
+  for (Mode m : {Mode{"wal+groupcommit", 1000}, Mode{"wal+flush-each", 0}}) {
+    ResetDir();
+    auto durable = DurableEngine<IntRing>::Open(MakeEngine(), DurableOpts(m.window_us));
+    INCR_CHECK(durable.ok());
+    double s = RunSingles(**durable, updates);
+    INCR_CHECK((*durable)->Sync().ok());
+    double ns = NsPerOp(s, n_single);
+    double overhead = ns / base_ns;
+    if (m.window_us != 0) group_overhead = overhead;
+    Row({m.name, FmtInt(n_single), Fmt(ns), Fmt(overhead, "%.2f") + "x"});
+    json.BeginObject();
+    json.Field("section", std::string("single"));
+    json.Field("mode", std::string(m.name));
+    json.Field("ops", n_single);
+    json.Field("ns_per_op", ns);
+    json.Field("overhead_x", overhead);
+    json.Field("wal_bytes", static_cast<int64_t>((*durable)->wal_bytes()));
+    json.EndObject();
+  }
+  std::printf("acceptance: group-commit overhead %.2fx %s 2x target\n",
+              group_overhead, group_overhead <= 2.0 ? "<=" : "EXCEEDS");
+
+  Section("1k-delta batches: logged vs unlogged");
+  Row({"mode", "ops", "ns/op", "overhead"});
+  auto batch_updates = DrawUpdates(n_batch, 43);
+  auto unlogged_b = MakeEngine();
+  double base_bs = RunBatches(*unlogged_b, batch_updates, batch);
+  double base_bns = NsPerOp(base_bs, n_batch);
+  Row({"unlogged", FmtInt(n_batch), Fmt(base_bns), "1.00x"});
+  json.BeginObject();
+  json.Field("section", std::string("batch"));
+  json.Field("mode", std::string("unlogged"));
+  json.Field("ops", n_batch);
+  json.Field("ns_per_op", base_bns);
+  json.Field("overhead_x", 1.0);
+  json.EndObject();
+
+  ResetDir();
+  {
+    auto durable = DurableEngine<IntRing>::Open(MakeEngine(), DurableOpts(1000));
+    INCR_CHECK(durable.ok());
+    double s = RunBatches(**durable, batch_updates, batch);
+    INCR_CHECK((*durable)->Sync().ok());
+    double ns = NsPerOp(s, n_batch);
+    Row({"wal+groupcommit", FmtInt(n_batch), Fmt(ns),
+         Fmt(ns / base_bns, "%.2f") + "x"});
+    json.BeginObject();
+    json.Field("section", std::string("batch"));
+    json.Field("mode", std::string("wal+groupcommit"));
+    json.Field("ops", n_batch);
+    json.Field("ns_per_op", ns);
+    json.Field("overhead_x", ns / base_bns);
+    json.Field("wal_bytes", static_cast<int64_t>((*durable)->wal_bytes()));
+    json.EndObject();
+
+    // Checkpoint: snapshot the loaded state and truncate the log.
+    Stopwatch sw;
+    INCR_CHECK((*durable)->Checkpoint().ok());
+    double ckpt_ms = sw.ElapsedMillis();
+    std::printf("checkpoint: %.1f ms (wal truncated to %zu bytes)\n", ckpt_ms,
+                (*durable)->wal_bytes());
+    json.BeginObject();
+    json.Field("section", std::string("checkpoint"));
+    json.Field("mode", std::string("checkpoint"));
+    json.Field("millis", ckpt_ms);
+    json.EndObject();
+  }
+
+  Section("recovery replay throughput");
+  // Rebuild a WAL-only log, then time Open()'s replay of every record.
+  ResetDir();
+  {
+    auto durable = DurableEngine<IntRing>::Open(MakeEngine(), DurableOpts(1000));
+    INCR_CHECK(durable.ok());
+    RunSingles(**durable, updates);
+    INCR_CHECK((*durable)->Sync().ok());
+  }
+  {
+    auto recovered = DurableEngine<IntRing>::Open(MakeEngine(), DurableOpts(1000));
+    INCR_CHECK(recovered.ok());
+    const auto& info = (*recovered)->recovery_info();
+    double replay_s = static_cast<double>(info.replay_ns) * 1e-9;
+    double rate = replay_s == 0
+                      ? 0.0
+                      : static_cast<double>(info.replayed_records) / replay_s;
+    std::printf("replayed %llu records in %.1f ms (%.3g records/s)\n",
+                static_cast<unsigned long long>(info.replayed_records),
+                replay_s * 1e3, rate);
+    json.BeginObject();
+    json.Field("section", std::string("recovery"));
+    json.Field("mode", std::string("replay"));
+    json.Field("ops", static_cast<int64_t>(info.replayed_records));
+    json.Field("replay_ms", replay_s * 1e3);
+    json.Field("records_per_s", rate);
+    json.EndObject();
+  }
+  ResetDir();
+
+  if (!json.WriteFile("BENCH_wal.json")) {
+    std::fprintf(stderr, "failed to write BENCH_wal.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_wal.json\n");
+  return 0;
+}

@@ -9,8 +9,7 @@
 // rotation; it clears when the failure resolves or the rotation ends.
 #include <cstdio>
 
-#include "incr/core/view_tree.h"
-#include "incr/ring/int_ring.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

@@ -6,8 +6,7 @@
 // always shown before the detailed one (Q1).
 #include <cstdio>
 
-#include "incr/cascade/cascade_engine.h"
-#include "incr/ring/int_ring.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

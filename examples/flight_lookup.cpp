@@ -16,8 +16,7 @@
 // would dominate an input variable), and the engine refuses it.
 #include <cstdio>
 
-#include "incr/cqap/cqap_engine.h"
-#include "incr/ring/int_ring.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

@@ -4,8 +4,7 @@
 // rebalances) react to the skew.
 #include <cstdio>
 
-#include "incr/ivme/triangle.h"
-#include "incr/workload/graph.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

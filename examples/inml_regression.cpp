@@ -9,8 +9,7 @@
 // with lifting g_units / g_price injecting the feature values.
 #include <cstdio>
 
-#include "incr/core/view_tree.h"
-#include "incr/ring/covar_ring.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

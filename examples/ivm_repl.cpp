@@ -17,6 +17,12 @@
 //                                        (1 = sequential, 0 = hardware;
 //                                        results are thread-count
 //                                        independent)
+//   durable <dir>                        write-ahead-log every update to
+//                                        <dir> and recover state from the
+//                                        snapshot + log found there
+//   checkpoint                           snapshot engine state to the
+//                                        durable dir and truncate the log
+//   options                              show the current EngineOptions
 //   enum                                 enumerate the current output
 //   agg                                  the full aggregate (count)
 //   classify                             structural report for the query
@@ -39,15 +45,7 @@
 #include <string>
 #include <vector>
 
-#include "incr/core/view_tree.h"
-#include "incr/data/delta.h"
-#include "incr/engines/engine.h"
-#include "incr/engines/strategies.h"
-#include "incr/obs/metrics.h"
-#include "incr/obs/trace.h"
-#include "incr/query/parser.h"
-#include "incr/query/properties.h"
-#include "incr/ring/int_ring.h"
+#include "incr/incr.h"
 
 using namespace incr;
 
@@ -59,7 +57,9 @@ struct Session {
   std::optional<Query> query;
   std::unique_ptr<IvmEngine<IntRing>> engine;
   std::string kind = "eager-fact";
-  size_t threads = 1;  // persists across engine rebuilds
+  // One options struct drives every engine rebuild (threads, shards,
+  // durability); seeded from the environment, mutated by commands.
+  EngineOptions opts = EngineOptions::FromEnv();
   Schema out_schema;  // free vars in the tree's enumeration order
   bool plan_o1_updates = false;
   bool plan_can_enum = false;
@@ -102,20 +102,42 @@ struct Session {
                   "engine (agg only)\n");
       kind = "view-tree";
     }
+    std::unique_ptr<IvmEngine<IntRing>> inner;
     if (kind == "view-tree") {
-      engine = std::make_unique<ViewTreeEngine<IntRing>>(*std::move(t));
+      inner = std::make_unique<ViewTreeEngine<IntRing>>(*std::move(t), opts);
     } else if (kind == "eager-fact") {
-      engine = std::make_unique<EagerFactStrategy<IntRing>>(*std::move(t));
+      inner = std::make_unique<EagerFactStrategy<IntRing>>(*std::move(t),
+                                                           opts);
     } else if (kind == "eager-list") {
-      engine = std::make_unique<EagerListStrategy<IntRing>>(*std::move(t));
+      inner = std::make_unique<EagerListStrategy<IntRing>>(*std::move(t),
+                                                           opts);
     } else if (kind == "lazy-fact") {
-      engine = std::make_unique<LazyFactStrategy<IntRing>>(*std::move(t));
+      inner = std::make_unique<LazyFactStrategy<IntRing>>(*std::move(t),
+                                                          opts);
     } else if (kind == "lazy-list") {
-      engine = std::make_unique<LazyListStrategy<IntRing>>(*std::move(t));
+      inner = std::make_unique<LazyListStrategy<IntRing>>(*std::move(t),
+                                                          opts);
     } else {
       return Status::InvalidArgument("unknown engine kind '" + kind + "'");
     }
-    engine->SetThreads(threads);
+    if (opts.durability_dir.empty()) {
+      engine = std::move(inner);
+      return Status::Ok();
+    }
+    auto durable =
+        DurableEngine<IntRing>::Open(std::move(inner), opts, &dict);
+    if (!durable.ok()) return durable.status();
+    const auto& info = (*durable)->recovery_info();
+    if (info.snapshot_loaded || info.replayed_records > 0) {
+      std::printf("recovered: snapshot lsn %llu, replayed %llu record(s) "
+                  "(%llu delta(s), %llu dict string(s))%s\n",
+                  static_cast<unsigned long long>(info.snapshot_lsn),
+                  static_cast<unsigned long long>(info.replayed_records),
+                  static_cast<unsigned long long>(info.replayed_deltas),
+                  static_cast<unsigned long long>(info.dict_entries_restored),
+                  info.wal_torn_tail ? "; dropped a torn log tail" : "");
+    }
+    engine = *std::move(durable);
     return Status::Ok();
   }
 
@@ -126,10 +148,65 @@ struct Session {
       std::printf("usage: threads <n>  (0 = hardware default)\n");
       return;
     }
-    threads = static_cast<size_t>(n);
-    if (engine) engine->SetThreads(threads);
-    std::printf("batch maintenance threads: %zu%s\n", threads,
-                threads == 0 ? " (hardware default)" : "");
+    opts.threads = static_cast<size_t>(n);
+    if (engine) engine->Configure(opts);
+    std::printf("batch maintenance threads: %zu%s\n", opts.threads,
+                opts.threads == 0 ? " (hardware default)" : "");
+  }
+
+  // Enables durability in `dir`: the engine is rebuilt empty, then restored
+  // from the snapshot + WAL found there (so pointing two sessions at the
+  // same dir hands state from one to the next).
+  void Durable(const std::string& dir) {
+    if (dir.empty()) {
+      std::printf("usage: durable <dir>\n");
+      return;
+    }
+    opts.durability_dir = dir;
+    if (!query) {
+      std::printf("durability dir set; takes effect when a query is "
+                  "defined\n");
+      return;
+    }
+    Status st = BuildEngine();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      opts.durability_dir.clear();
+      return;
+    }
+    std::printf("durable engine: %s (logging to %s)\n", engine->name(),
+                dir.c_str());
+  }
+
+  void Checkpoint() {
+    auto* durable = dynamic_cast<DurableEngine<IntRing>*>(engine.get());
+    if (durable == nullptr) {
+      std::printf("no durable engine; use 'durable <dir>' first\n");
+      return;
+    }
+    Status st = durable->Checkpoint();
+    if (!st.ok()) {
+      std::printf("error: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::printf("checkpoint written at lsn %llu; log truncated\n",
+                static_cast<unsigned long long>(durable->last_lsn()));
+  }
+
+  void Options() {
+    std::printf("  threads:            %zu%s\n", opts.threads,
+                opts.threads == 0 ? " (hardware default)" : "");
+    std::printf("  shards:             %zu%s\n", opts.shards,
+                opts.shards == 0 ? " (process default)" : "");
+    std::printf("  obs:                %s\n",
+                opts.obs.has_value() ? (*opts.obs ? "on" : "off")
+                                     : (obs::Enabled() ? "on (process)"
+                                                       : "off (process)"));
+    std::printf("  durability_dir:     %s\n",
+                opts.durability_dir.empty() ? "(none)"
+                                            : opts.durability_dir.c_str());
+    std::printf("  group_commit_us:    %u\n", opts.group_commit_window_us);
+    std::printf("  fsync:              %s\n", opts.fsync ? "on" : "off");
   }
 
   void Classify() {
@@ -288,7 +365,11 @@ struct Session {
     // The view-tree fallback maintains the aggregate even when the output
     // is not enumerable; every other engine kind has an enumerable plan,
     // and the sum of output payloads IS the aggregate.
-    if (auto* vt = dynamic_cast<ViewTreeEngine<IntRing>*>(engine.get())) {
+    IvmEngine<IntRing>* target = engine.get();
+    if (auto* d = dynamic_cast<DurableEngine<IntRing>*>(target)) {
+      target = &d->inner();
+    }
+    if (auto* vt = dynamic_cast<ViewTreeEngine<IntRing>*>(target)) {
       return vt->tree().Aggregate();
     }
     int64_t agg = 0;
@@ -362,9 +443,9 @@ struct Session {
     if (line == "quit" || line == "exit") return false;
     if (line == "help") {
       std::printf("commands: query <def> | engine <kind> | +Rel v1 v2 [xN] "
-                  "| -Rel v1 v2 | batch <file> | threads <n> | enum | agg | "
-                  "classify | stats [reset] | trace on <file> | trace off | "
-                  "quit\n");
+                  "| -Rel v1 v2 | batch <file> | threads <n> | durable "
+                  "<dir> | checkpoint | options | enum | agg | classify | "
+                  "stats [reset] | trace on <file> | trace off | quit\n");
       std::printf("engine kinds: eager-fact eager-list lazy-fact lazy-list "
                   "view-tree\n");
     } else if (line.rfind("query ", 0) == 0) {
@@ -375,6 +456,12 @@ struct Session {
       Batch(line.substr(6));
     } else if (line.rfind("threads ", 0) == 0) {
       SetThreads(line.substr(8));
+    } else if (line.rfind("durable ", 0) == 0) {
+      Durable(line.substr(8));
+    } else if (line == "checkpoint") {
+      Checkpoint();
+    } else if (line == "options") {
+      Options();
     } else if (line[0] == '+') {
       Update(line.substr(1), +1);
     } else if (line[0] == '-') {

@@ -9,7 +9,7 @@
 // single-tuple update in O(sqrt N) worst-case time at eps = 1/2.
 #include <cstdio>
 
-#include "incr/ivme/triangle.h"
+#include "incr/incr.h"
 
 int main() {
   using namespace incr;

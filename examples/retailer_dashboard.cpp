@@ -5,9 +5,7 @@
 //   * the total join count via the root aggregate, O(1) to read.
 #include <cstdio>
 
-#include "incr/core/view_tree.h"
-#include "incr/ring/int_ring.h"
-#include "incr/workload/retailer.h"
+#include "incr/incr.h"
 
 using namespace incr;
 

@@ -1,5 +1,6 @@
 #include "incr/data/io.h"
 
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -8,15 +9,103 @@ namespace incr {
 
 namespace {
 
-// Reads the next non-empty, non-comment line; false on EOF.
-bool NextLine(std::istream& in, std::string* line) {
+// Reads the next non-empty, non-comment line, counting every consumed line
+// (blank and comment lines included) in *lineno; false on EOF.
+bool NextLine(std::istream& in, std::string* line, size_t* lineno) {
   while (std::getline(in, *line)) {
+    ++*lineno;
     size_t start = line->find_first_not_of(" \t\r");
     if (start == std::string::npos) continue;
     if ((*line)[start] == '#') continue;
     return true;
   }
   return false;
+}
+
+Status LineError(size_t lineno, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(lineno) + ": " +
+                                 what);
+}
+
+Status ParseHeader(const std::string& line, size_t lineno, std::string* name,
+                   size_t* arity) {
+  std::istringstream header(line);
+  std::string keyword;
+  header >> keyword >> *name >> *arity;
+  if (keyword != "relation" || header.fail()) {
+    return LineError(lineno, "expected 'relation <name> <arity>', got: " +
+                                 line);
+  }
+  return Status::Ok();
+}
+
+// Reads the data rows of one section (up to and including its "end" line)
+// into `rel`, applied as one batch: ApplyBatch pre-reserves the map and the
+// grouped indexes, so bulk loads avoid incremental rehashing.
+Status ReadRows(std::istream& in, const std::string& name, size_t arity,
+                Relation<IntRing>* rel, size_t* lineno) {
+  std::vector<Relation<IntRing>::Entry> rows;
+  std::string line;
+  while (NextLine(in, &line, lineno)) {
+    if (line.rfind("end", 0) == 0) {
+      rel->ApplyBatch(rows);
+      return Status::Ok();
+    }
+    std::istringstream row(line);
+    Tuple t;
+    for (size_t i = 0; i < arity; ++i) {
+      Value v;
+      row >> v;
+      t.push_back(v);
+    }
+    int64_t payload;
+    row >> payload;
+    if (row.fail()) {
+      return LineError(*lineno, "malformed row: " + line);
+    }
+    rows.push_back({std::move(t), payload});
+  }
+  return LineError(*lineno, "missing 'end' for relation " + name);
+}
+
+Status ReadDatabaseLines(std::istream& in, Database<IntRing>* db,
+                         size_t* lineno) {
+  std::string line;
+  while (NextLine(in, &line, lineno)) {
+    std::string name;
+    size_t arity = 0;
+    Status st = ParseHeader(line, *lineno, &name, &arity);
+    if (!st.ok()) return st;
+    Relation<IntRing>* rel = db->Find(name);
+    if (rel == nullptr) {
+      return Status::NotFound("line " + std::to_string(*lineno) +
+                              ": unknown relation '" + name + "'");
+    }
+    if (arity != rel->schema().size()) {
+      return LineError(*lineno, "arity mismatch for '" + name + "': file " +
+                                    "says " + std::to_string(arity) +
+                                    ", schema has " +
+                                    std::to_string(rel->schema().size()));
+    }
+    st = ReadRows(in, name, arity, rel, lineno);
+    if (!st.ok()) return st;
+  }
+  return Status::Ok();
+}
+
+// Re-codes `st` with its message prefixed by the file path, so a caller
+// sees "<path>:line N: ..." for parse errors.
+Status PrefixPath(const Status& st, const std::string& path) {
+  if (st.ok()) return st;
+  const std::string msg = path + ": " + st.message();
+  switch (st.code()) {
+    case StatusCode::kNotFound:
+      return Status::NotFound(msg);
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(msg);
+    default:
+      return Status::Internal(msg);
+  }
 }
 
 }  // namespace
@@ -33,17 +122,15 @@ void WriteRelation(std::ostream& out, const std::string& name,
 
 Status ReadRelation(std::istream& in, const std::string& expected_name,
                     Relation<IntRing>* rel) {
+  size_t lineno = 0;
   std::string line;
-  if (!NextLine(in, &line)) {
+  if (!NextLine(in, &line, &lineno)) {
     return Status::InvalidArgument("unexpected end of stream");
   }
-  std::istringstream header(line);
-  std::string keyword, name;
+  std::string name;
   size_t arity = 0;
-  header >> keyword >> name >> arity;
-  if (keyword != "relation" || header.fail()) {
-    return Status::InvalidArgument("expected 'relation <name> <arity>'");
-  }
+  Status st = ParseHeader(line, lineno, &name, &arity);
+  if (!st.ok()) return st;
   if (name != expected_name) {
     return Status::InvalidArgument("expected relation '" + expected_name +
                                    "', found '" + name + "'");
@@ -51,30 +138,7 @@ Status ReadRelation(std::istream& in, const std::string& expected_name,
   if (arity != rel->schema().size()) {
     return Status::InvalidArgument("arity mismatch for '" + name + "'");
   }
-  // Buffer the parsed rows and apply them as one batch: ApplyBatch
-  // pre-reserves the map and the grouped indexes, so bulk loads avoid the
-  // incremental rehashing of tuple-at-a-time Apply.
-  std::vector<Relation<IntRing>::Entry> rows;
-  while (NextLine(in, &line)) {
-    if (line.rfind("end", 0) == 0) {
-      rel->ApplyBatch(rows);
-      return Status::Ok();
-    }
-    std::istringstream row(line);
-    Tuple t;
-    for (size_t i = 0; i < arity; ++i) {
-      Value v;
-      row >> v;
-      t.push_back(v);
-    }
-    int64_t payload;
-    row >> payload;
-    if (row.fail()) {
-      return Status::InvalidArgument("malformed row: " + line);
-    }
-    rows.push_back({std::move(t), payload});
-  }
-  return Status::InvalidArgument("missing 'end' for relation " + name);
+  return ReadRows(in, name, arity, rel, &lineno);
 }
 
 void WriteDatabase(std::ostream& out, const Database<IntRing>& db) {
@@ -84,29 +148,27 @@ void WriteDatabase(std::ostream& out, const Database<IntRing>& db) {
 }
 
 Status ReadDatabase(std::istream& in, Database<IntRing>* db) {
-  std::string line;
-  while (NextLine(in, &line)) {
-    std::istringstream header(line);
-    std::string keyword, name;
-    header >> keyword >> name;
-    if (keyword != "relation") {
-      return Status::InvalidArgument("expected 'relation', got: " + line);
-    }
-    Relation<IntRing>* rel = db->Find(name);
-    if (rel == nullptr) {
-      return Status::NotFound("unknown relation '" + name + "'");
-    }
-    // Re-parse the section with the single-relation reader.
-    std::string section = line + "\n";
-    while (std::getline(in, line)) {
-      section += line + "\n";
-      if (line.rfind("end", 0) == 0) break;
-    }
-    std::istringstream section_in(section);
-    Status st = ReadRelation(section_in, name, rel);
-    if (!st.ok()) return st;
+  size_t lineno = 0;
+  return ReadDatabaseLines(in, db, &lineno);
+}
+
+Status WriteDatabaseFile(const std::string& path,
+                         const Database<IntRing>& db) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
   }
+  WriteDatabase(out, db);
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
   return Status::Ok();
+}
+
+Status ReadDatabaseFile(const std::string& path, Database<IntRing>* db) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  size_t lineno = 0;
+  return PrefixPath(ReadDatabaseLines(in, db, &lineno), path);
 }
 
 }  // namespace incr

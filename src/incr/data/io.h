@@ -33,8 +33,17 @@ Status ReadRelation(std::istream& in, const std::string& expected_name,
 void WriteDatabase(std::ostream& out, const Database<IntRing>& db);
 
 /// Reads relation sections until EOF, applying each to the same-named
-/// relation of `db` (which must exist with matching arity).
+/// relation of `db` (which must exist with matching arity). Errors carry
+/// the 1-based line number of the offending line.
 Status ReadDatabase(std::istream& in, Database<IntRing>* db);
+
+/// Writes the whole database to `path`; open and write failures are
+/// returned, never aborted on.
+Status WriteDatabaseFile(const std::string& path, const Database<IntRing>& db);
+
+/// Reads `path` into `db`. A missing file is NotFound; parse errors are
+/// InvalidArgument prefixed with "<path>:<line>".
+Status ReadDatabaseFile(const std::string& path, Database<IntRing>* db);
 
 }  // namespace incr
 

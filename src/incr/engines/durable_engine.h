@@ -1,0 +1,229 @@
+// DurableEngine<R>: the durability decorator of the engine API. Wraps any
+// IvmEngine and logs every update to a write-ahead delta log *before*
+// applying it, so that after a crash the wrapped engine's state can be
+// reconstructed exactly: load the latest checkpoint snapshot, then replay
+// the WAL tail through the same Update/ApplyBatch path a live engine uses
+// (store/recover.h — replaying inputs, not outputs, is what makes recovery
+// bit-identical under float rings).
+//
+// Durability protocol (DESIGN.md §durability):
+//   1. Open(): recover snapshot + WAL tail (records with lsn > snapshot
+//      lsn), then open the log for appending where the valid prefix ends.
+//   2. Update/ApplyBatch: encode the delta, append (group-commit buffered),
+//      apply to the inner engine. A crash loses only the buffered suffix.
+//   3. Checkpoint(): DumpState the inner engine, atomically write the
+//      snapshot, then truncate the log (Wal::Restart — LSNs continue).
+#ifndef INCR_ENGINES_DURABLE_ENGINE_H_
+#define INCR_ENGINES_DURABLE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "incr/data/value.h"
+#include "incr/engines/engine.h"
+#include "incr/engines/engine_options.h"
+#include "incr/store/checkpoint.h"
+#include "incr/store/recover.h"
+#include "incr/store/serde.h"
+#include "incr/store/wal.h"
+
+namespace incr {
+
+template <RingType R>
+class DurableEngine : public IvmEngine<R> {
+ public:
+  using RV = typename R::Value;
+  using typename IvmEngine<R>::Sink;
+  using typename IvmEngine<R>::Batch;
+
+  /// Opens a durable engine over `inner` in opts.durability_dir (created if
+  /// missing). With opts.recover_on_open, restores the snapshot (if any)
+  /// into `inner`, replays the WAL tail, and — when `dict` is non-null —
+  /// restores the dictionary from the snapshot as well. The same `dict` is
+  /// then serialized into future snapshots.
+  static StatusOr<std::unique_ptr<DurableEngine>> Open(
+      std::unique_ptr<IvmEngine<R>> inner, const EngineOptions& opts,
+      Dictionary* dict = nullptr) {
+    if (opts.durability_dir.empty()) {
+      return Status::InvalidArgument(
+          "DurableEngine::Open needs EngineOptions::durability_dir");
+    }
+    Status st = store::EnsureDir(opts.durability_dir);
+    if (!st.ok()) return st;
+    const std::string ring = store::RingSerdeName<R>();
+    const std::string wal_path = store::WalPath(opts.durability_dir);
+    const std::string snap_path = store::SnapshotPath(opts.durability_dir);
+
+    store::RecoveryInfo info;
+    if (opts.recover_on_open) {
+      auto snap = store::ReadSnapshotFile(snap_path);
+      if (snap.ok()) {
+        if (snap->ring_name != ring) {
+          return Status::FailedPrecondition(
+              "snapshot '" + snap_path + "' was written under ring '" +
+              snap->ring_name + "', engine uses '" + ring + "'");
+        }
+        if (!snap->dict_blob.empty() && dict != nullptr) {
+          store::ByteReader dr(snap->dict_blob);
+          st = store::ReadDictionary(dr, dict);
+          if (!st.ok()) return st;
+        }
+        store::ByteReader sr(snap->state);
+        st = inner->LoadState(sr);
+        if (!st.ok()) return st;
+        info.snapshot_loaded = true;
+        info.snapshot_lsn = snap->lsn;
+        info.last_lsn = snap->lsn;
+      } else if (snap.status().code() != StatusCode::kNotFound) {
+        return snap.status();
+      }
+      auto scan = store::ScanWal(wal_path);
+      if (scan.ok()) {
+        info.wal_torn_tail = scan->torn_tail;
+        info.wal_corrupt = scan->corrupt;
+        st = store::ReplayWal<R>(*scan, info.snapshot_lsn, inner.get(),
+                                 &info, dict);
+        if (!st.ok()) return st;
+        if (info.last_lsn == 0 && !scan->records.empty()) {
+          info.last_lsn = scan->records.back().lsn;
+        }
+      } else if (scan.status().code() != StatusCode::kNotFound) {
+        return scan.status();
+      }
+    }
+
+    store::WalOptions wal_opts;
+    wal_opts.buffer_bytes = opts.wal_buffer_bytes;
+    wal_opts.group_commit_window_us = opts.group_commit_window_us;
+    wal_opts.fsync = opts.fsync;
+    auto wal = store::Wal::Open(wal_path, ring, wal_opts);
+    if (!wal.ok()) return wal.status();
+
+    auto engine = std::unique_ptr<DurableEngine>(new DurableEngine(
+        std::move(inner), *std::move(wal), opts.durability_dir, dict, info));
+    engine->Configure(opts);
+    return engine;
+  }
+
+  const char* name() const override { return name_.c_str(); }
+
+  /// Snapshots the inner engine's state (plus the dictionary, if attached)
+  /// and truncates the log. After success, recovery needs only the new
+  /// snapshot and whatever is appended later.
+  Status Checkpoint() {
+    store::ByteWriter state;
+    Status st = inner_->DumpState(state);
+    if (!st.ok()) return st;
+    store::SnapshotData snap;
+    snap.ring_name = store::RingSerdeName<R>();
+    snap.lsn = wal_->last_lsn();
+    if (dict_ != nullptr) {
+      store::ByteWriter dw;
+      store::WriteDictionary(dw, *dict_);
+      snap.dict_blob = dw.Take();
+      dict_synced_ = dict_->size();  // the snapshot now covers all of it
+    }
+    snap.state = state.Take();
+    st = store::WriteSnapshotFile(store::SnapshotPath(dir_), snap);
+    if (!st.ok()) return st;
+    st = wal_->Restart();
+    if (!st.ok()) return st;
+    if (obs::Enabled()) {
+      auto& r = obs::MetricsRegistry::Global();
+      r.GetCounter("durable.checkpoints")->Inc();
+      r.GetCounter("durable.checkpoint_bytes")->Add(snap.state.size());
+      r.GetGauge("durable.wal_bytes")
+          ->Set(static_cast<int64_t>(wal_->SizeBytes()));
+    }
+    return Status::Ok();
+  }
+
+  /// Forces everything appended so far onto disk (flush + fsync).
+  Status Sync() { return wal_->Sync(); }
+
+  /// What Open()'s recovery pass found and replayed.
+  const store::RecoveryInfo& recovery_info() const { return info_; }
+
+  uint64_t last_lsn() const { return wal_->last_lsn(); }
+  size_t wal_bytes() const { return wal_->SizeBytes(); }
+
+  IvmEngine<R>& inner() { return *inner_; }
+  const IvmEngine<R>& inner() const { return *inner_; }
+
+  void Configure(const EngineOptions& opts) override {
+    inner_->Configure(opts);
+  }
+
+  void SetThreads(size_t threads) override { inner_->SetThreads(threads); }
+
+  Status DumpState(store::ByteWriter& w) override {
+    return inner_->DumpState(w);
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    return inner_->LoadState(r);
+  }
+
+ protected:
+  // Log-then-apply. The inner engine's instrumented public entry points are
+  // used deliberately: replay drives the same ones, and the inner engine's
+  // own metrics ("engine.<inner>.*") stay meaningful under the wrapper.
+  void UpdateImpl(const std::string& rel, const Tuple& t,
+                  const RV& d) override {
+    MaybeLogDictGrowth();
+    enc_.Clear();
+    store::EncodeUpdatePayload<R>(enc_, rel, t, d);
+    wal_->Append(store::WalRecordType::kUpdate, enc_.data());
+    inner_->Update(rel, t, d);
+  }
+
+  void ApplyBatchImpl(Batch batch) override {
+    MaybeLogDictGrowth();
+    enc_.Clear();
+    store::EncodeBatchPayload<R>(enc_, batch);
+    wal_->Append(store::WalRecordType::kBatch, enc_.data());
+    inner_->ApplyBatch(batch);
+  }
+
+  size_t EnumerateImpl(const Sink& sink) override {
+    return inner_->Enumerate(sink);
+  }
+
+ private:
+  DurableEngine(std::unique_ptr<IvmEngine<R>> inner,
+                std::unique_ptr<store::Wal> wal, std::string dir,
+                Dictionary* dict, store::RecoveryInfo info)
+      : inner_(std::move(inner)),
+        wal_(std::move(wal)),
+        dir_(std::move(dir)),
+        dict_(dict),
+        dict_synced_(dict == nullptr ? 0 : dict->size()),
+        info_(info),
+        name_(std::string("durable:") + inner_->name()) {}
+
+  // Strings the caller interned since the last logged/snapshotted
+  // dictionary prefix exist nowhere on disk; persist them in a kDict record
+  // *before* the delta that references them, so the sequential log makes
+  // the string durable no later than any tuple encoding its code.
+  void MaybeLogDictGrowth() {
+    if (dict_ == nullptr || dict_->size() <= dict_synced_) return;
+    enc_.Clear();
+    store::EncodeDictDeltaPayload(enc_, *dict_, dict_synced_);
+    wal_->Append(store::WalRecordType::kDict, enc_.data());
+    dict_synced_ = dict_->size();
+  }
+
+  std::unique_ptr<IvmEngine<R>> inner_;
+  std::unique_ptr<store::Wal> wal_;
+  std::string dir_;
+  Dictionary* dict_;  // not owned; may be null
+  size_t dict_synced_;  // dict prefix already durable (snapshot or kDict)
+  store::RecoveryInfo info_;
+  std::string name_;
+  store::ByteWriter enc_;  // reused per-record encode buffer
+};
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_DURABLE_ENGINE_H_

@@ -35,10 +35,13 @@
 
 #include "incr/core/view_tree.h"
 #include "incr/data/delta.h"
+#include "incr/engines/engine_options.h"
 #include "incr/obs/metrics.h"
 #include "incr/obs/trace.h"
 #include "incr/query/query.h"
 #include "incr/ring/ring.h"
+#include "incr/store/serde.h"
+#include "incr/util/status.h"
 #include "incr/util/thread_pool.h"
 
 namespace incr {
@@ -154,11 +157,41 @@ class IvmEngine {
     return n;
   }
 
-  /// Requests batch maintenance on `threads` threads (0 = the default from
-  /// INCR_THREADS / hardware_concurrency; 1 = sequential). Results must not
-  /// depend on the thread count. Default: ignored — engines without a bulk
-  /// path have nothing to parallelize.
+  /// Applies an options struct: observability override first (so the
+  /// remaining configuration is observed or not per the caller's wish),
+  /// then parallelism. Engines that understand more fields (shard counts,
+  /// durability) override. This is the one configuration entry point of
+  /// the public API; the per-knob setters below are shims kept for source
+  /// compatibility.
+  virtual void Configure(const EngineOptions& opts) {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    SetThreads(opts.threads);
+  }
+
+  /// Deprecated shim — prefer Configure(EngineOptions). Requests batch
+  /// maintenance on `threads` threads (0 = the default from INCR_THREADS /
+  /// hardware_concurrency; 1 = sequential). Results must not depend on the
+  /// thread count. Default: ignored — engines without a bulk path have
+  /// nothing to parallelize.
   virtual void SetThreads(size_t threads) { (void)threads; }
+
+  /// Serializes the engine's full dynamic state for checkpointing. May
+  /// force pending work (lazy engines flush their buffers) — hence
+  /// non-const. Engines without checkpoint support keep the default and
+  /// remain durable via full-log replay only.
+  virtual Status DumpState(store::ByteWriter& w) {
+    (void)w;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support state dump");
+  }
+
+  /// Restores state produced by DumpState on an engine built over the same
+  /// query/plan. Existing state is replaced.
+  virtual Status LoadState(store::ByteReader& r) {
+    (void)r;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support state load");
+  }
 
  protected:
   /// Engine implementations. ApplyBatchImpl's default is a sequential
@@ -213,9 +246,28 @@ class ViewTreeEngine : public IvmEngine<R> {
 
   explicit ViewTreeEngine(ViewTree<R> tree) : tree_(std::move(tree)) {}
 
+  ViewTreeEngine(ViewTree<R> tree, const EngineOptions& opts)
+      : ViewTreeEngine(std::move(tree)) {
+    Configure(opts);
+  }
+
   const char* name() const override { return "view-tree"; }
 
+  void Configure(const EngineOptions& opts) override {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    tree_.SetThreads(opts.threads, opts.shards);
+  }
+
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  Status DumpState(store::ByteWriter& w) override {
+    tree_.DumpState(w);
+    return Status::Ok();
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    return tree_.LoadState(r);
+  }
 
   ViewTree<R>& tree() { return tree_; }
   const ViewTree<R>& tree() const { return tree_; }

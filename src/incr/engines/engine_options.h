@@ -1,0 +1,82 @@
+// EngineOptions: the single configuration struct of the public API. Every
+// knob that used to live in its own setter, environment variable, or
+// constructor argument — thread count, shard count, observability,
+// durability — is a field here, and every IvmEngine constructor (and the
+// REPL) accepts one. Engines read the fields they understand and ignore the
+// rest, so options written for one engine kind work unchanged on another.
+#ifndef INCR_ENGINES_ENGINE_OPTIONS_H_
+#define INCR_ENGINES_ENGINE_OPTIONS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace incr {
+
+struct EngineOptions {
+  /// Threads for batch maintenance: 1 = sequential (the default), 0 = pick
+  /// automatically (INCR_THREADS / hardware concurrency), n > 1 = that many.
+  size_t threads = 1;
+
+  /// Hash shards for the parallel batch path; 0 = the process default
+  /// (INCR_SHARDS, default 16). Ignored when threads resolve to 1.
+  size_t shards = 0;
+
+  /// Force observability on/off; unset leaves the process-level setting
+  /// (INCR_OBS / obs::SetEnabled) untouched.
+  std::optional<bool> obs;
+
+  /// Directory for the write-ahead log and checkpoint snapshot. Empty (the
+  /// default) means no durability; non-empty is consumed by
+  /// DurableEngine::Open / MakeEngine, which log every update there.
+  std::string durability_dir;
+
+  /// Group-commit window in microseconds: an appended WAL record may sit
+  /// buffered this long before a flush groups it with its neighbors.
+  /// 0 = flush (and fsync, if enabled) every update.
+  uint32_t group_commit_window_us = 1000;
+
+  /// WAL buffer capacity; the buffer is flushed when it fills regardless of
+  /// the group-commit window.
+  size_t wal_buffer_bytes = 1 << 20;
+
+  /// fsync(2) the WAL on flush. Off: flushed records survive process death
+  /// but not power loss (the right trade for tests and benches).
+  bool fsync = true;
+
+  /// On DurableEngine::Open, load the latest snapshot and replay the WAL
+  /// tail. Off: open the log for appending but start from the engine's
+  /// current (usually empty) state.
+  bool recover_on_open = true;
+
+  /// Reads the INCR_THREADS / INCR_SHARDS / INCR_OBS environment variables
+  /// into an options struct (unset variables keep the defaults above) —
+  /// the bridge from the pre-EngineOptions configuration surface.
+  static EngineOptions FromEnv() {
+    EngineOptions opts;
+    if (const char* env = std::getenv("INCR_THREADS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 0) {
+        opts.threads = static_cast<size_t>(v);
+      }
+    }
+    if (const char* env = std::getenv("INCR_SHARDS")) {
+      char* end = nullptr;
+      long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) {
+        opts.shards = static_cast<size_t>(v);
+      }
+    }
+    if (const char* env = std::getenv("INCR_OBS")) {
+      std::string v(env);
+      opts.obs = !(v == "off" || v == "0" || v == "false");
+    }
+    return opts;
+  }
+};
+
+}  // namespace incr
+
+#endif  // INCR_ENGINES_ENGINE_OPTIONS_H_

@@ -103,6 +103,11 @@ class EagerFactStrategy : public IvmStrategy<R> {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  EagerFactStrategy(ViewTree<R> tree, const EngineOptions& opts)
+      : EagerFactStrategy(std::move(tree)) {
+    Configure(opts);
+  }
+
   const Query& query() const override { return tree_.query(); }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
@@ -111,7 +116,21 @@ class EagerFactStrategy : public IvmStrategy<R> {
 
   void ApplyBatch(AtomBatch batch) override { tree_.ApplyBatch(batch); }
 
+  void Configure(const EngineOptions& opts) override {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    tree_.SetThreads(opts.threads, opts.shards);
+  }
+
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  Status DumpState(store::ByteWriter& w) override {
+    tree_.DumpState(w);
+    return Status::Ok();
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    return tree_.LoadState(r);
+  }
 
   const char* name() const override { return "eager-fact"; }
 
@@ -149,7 +168,26 @@ class EagerListStrategy : public IvmStrategy<R> {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  EagerListStrategy(ViewTree<R> tree, const EngineOptions& opts)
+      : EagerListStrategy(std::move(tree)) {
+    this->Configure(opts);
+  }
+
   const Query& query() const override { return tree_.query(); }
+
+  // The materialized output list is part of the dynamic state: it is
+  // maintained per update, not derivable in dump order from the tree.
+  Status DumpState(store::ByteWriter& w) override {
+    tree_.DumpState(w);
+    store::WriteRelation(w, out_);
+    return Status::Ok();
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    Status st = tree_.LoadState(r);
+    if (!st.ok()) return st;
+    return store::ReadRelationInto(r, &out_);
+  }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.UpdateAtomWithDeltaEnum(
@@ -194,6 +232,11 @@ class LazyFactStrategy : public IvmStrategy<R> {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  LazyFactStrategy(ViewTree<R> tree, const EngineOptions& opts)
+      : LazyFactStrategy(std::move(tree)) {
+    Configure(opts);
+  }
+
   const Query& query() const override { return tree_.query(); }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
@@ -202,7 +245,27 @@ class LazyFactStrategy : public IvmStrategy<R> {
 
   void ApplyBatch(AtomBatch batch) override { buffer_.AddAll(batch); }
 
+  void Configure(const EngineOptions& opts) override {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    tree_.SetThreads(opts.threads, opts.shards);
+  }
+
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  // Dumping flushes the buffer first: a snapshot must capture the effect of
+  // every logged update, and buffered deltas have no stable on-disk shape
+  // of their own (this is also why DumpState is non-const API-wide).
+  Status DumpState(store::ByteWriter& w) override {
+    tree_.ApplyBatch(buffer_);
+    buffer_.Clear();
+    tree_.DumpState(w);
+    return Status::Ok();
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    buffer_.Clear();
+    return tree_.LoadState(r);
+  }
 
   const char* name() const override { return "lazy-fact"; }
 
@@ -239,13 +302,32 @@ class LazyListStrategy : public IvmStrategy<R> {
     INCR_CHECK(tree_.plan().CanEnumerate().ok());
   }
 
+  LazyListStrategy(ViewTree<R> tree, const EngineOptions& opts)
+      : LazyListStrategy(std::move(tree)) {
+    Configure(opts);
+  }
+
   const Query& query() const override { return tree_.query(); }
 
   void Update(size_t atom_id, const Tuple& t, const RV& m) override {
     tree_.LoadAtom(atom_id, t, m);  // base relation only, no propagation
   }
 
+  void Configure(const EngineOptions& opts) override {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    tree_.SetThreads(opts.threads, opts.shards);
+  }
+
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
+
+  Status DumpState(store::ByteWriter& w) override {
+    tree_.DumpState(w);
+    return Status::Ok();
+  }
+
+  Status LoadState(store::ByteReader& r) override {
+    return tree_.LoadState(r);
+  }
 
   const char* name() const override { return "lazy-list"; }
 

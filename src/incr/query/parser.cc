@@ -134,6 +134,28 @@ StatusOr<std::vector<Atom>> ParseBody(Lexer& lex, VarRegistry* vars) {
   }
 }
 
+// Every head variable must be bound by some body atom: an unbound one has
+// no defining occurrence, and the planner would abort building a variable
+// order for it. Rejecting here names the variable instead.
+Status CheckHeadSafety(const Head& head, const std::vector<Atom>& atoms,
+                       const VarRegistry& vars) {
+  auto bound = [&](Var v) {
+    for (const Atom& a : atoms) {
+      if (FindVar(a.schema, v).has_value()) return true;
+    }
+    return false;
+  };
+  for (const Schema* part : {&head.output, &head.input}) {
+    for (Var v : *part) {
+      if (!bound(v)) {
+        return Status::InvalidArgument("head variable '" + vars.Name(v) +
+                                       "' does not occur in the query body");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 StatusOr<Query> ParseQuery(std::string_view text, VarRegistry* vars) {
@@ -146,6 +168,8 @@ StatusOr<Query> ParseQuery(std::string_view text, VarRegistry* vars) {
   }
   auto atoms = ParseBody(lex, vars);
   if (!atoms.ok()) return atoms.status();
+  Status st = CheckHeadSafety(*head, *atoms, *vars);
+  if (!st.ok()) return st;
   return Query(head->name, head->output, *std::move(atoms));
 }
 
@@ -155,6 +179,8 @@ StatusOr<CqapQuery> ParseCqap(std::string_view text, VarRegistry* vars) {
   if (!head.ok()) return head.status();
   auto atoms = ParseBody(lex, vars);
   if (!atoms.ok()) return atoms.status();
+  Status st = CheckHeadSafety(*head, *atoms, *vars);
+  if (!st.ok()) return st;
   return CqapQuery::Make(head->name, head->input, head->output,
                          *std::move(atoms));
 }

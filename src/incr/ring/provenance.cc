@@ -1,6 +1,7 @@
 #include "incr/ring/provenance.h"
 
 #include <cmath>
+#include <iterator>
 
 namespace incr {
 
@@ -89,6 +90,15 @@ std::string Polynomial::ToString() const {
     }
   }
   return out;
+}
+
+Polynomial Polynomial::FromTerms(std::map<Monomial, int64_t> terms) {
+  Polynomial p;
+  for (auto it = terms.begin(); it != terms.end();) {
+    it = it->second == 0 ? terms.erase(it) : std::next(it);
+  }
+  p.terms_ = std::move(terms);
+  return p;
 }
 
 }  // namespace incr

@@ -48,6 +48,13 @@ class Polynomial {
   /// Renders e.g. "2*x1*x3^2 + x2".
   std::string ToString() const;
 
+  /// The term map (monomial -> non-zero coefficient); exposed for
+  /// serialization. Round-trips exactly through FromTerms.
+  const std::map<Monomial, int64_t>& terms() const { return terms_; }
+
+  /// Rebuilds a polynomial from a term map (zero coefficients dropped).
+  static Polynomial FromTerms(std::map<Monomial, int64_t> terms);
+
  private:
   // monomial -> coefficient; zero coefficients are never stored.
   std::map<Monomial, int64_t> terms_;

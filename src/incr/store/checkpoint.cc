@@ -1,0 +1,117 @@
+#include "incr/store/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "incr/store/serde.h"
+
+namespace incr::store {
+
+namespace {
+
+constexpr uint32_t kSnapshotMagic = 0x504B4349;  // "ICKP" little-endian
+constexpr uint32_t kSnapshotVersion = 1;
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file '" + path + "'")
+                           : IoError("cannot open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return IoError("cannot read", path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError("cannot write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& snap) {
+  ByteWriter w;
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(kSnapshotVersion);
+  w.PutString(snap.ring_name);
+  w.PutU64(snap.lsn);
+  w.PutU32(static_cast<uint32_t>(snap.dict_blob.size()));
+  w.PutBytes(snap.dict_blob.data(), snap.dict_blob.size());
+  w.PutU64(snap.state.size());
+  w.PutBytes(snap.state.data(), snap.state.size());
+  w.PutU32(Crc32c(w.data().data(), w.size()));
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot create", tmp);
+  Status st = WriteAll(fd, w.data().data(), w.size(), tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = IoError("cannot fsync", tmp);
+  ::close(fd);
+  if (!st.ok()) return st;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IoError("cannot rename over", path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  std::string bytes;
+  Status st = ReadFileBytes(path, &bytes);
+  if (!st.ok()) return st;
+  if (bytes.size() < 4) {
+    return Status::InvalidArgument("snapshot '" + path + "' is truncated");
+  }
+  const size_t body_len = bytes.size() - 4;
+  ByteReader tail(bytes.data() + body_len, 4);
+  if (tail.GetU32() != Crc32c(bytes.data(), body_len)) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "' failed its checksum");
+  }
+  ByteReader r(bytes.data(), body_len);
+  uint32_t magic = r.GetU32();
+  uint32_t version = r.GetU32();
+  SnapshotData snap;
+  snap.ring_name = r.GetString();
+  snap.lsn = r.GetU64();
+  uint32_t dict_len = r.GetU32();
+  snap.dict_blob = std::string(r.GetBytes(dict_len));
+  uint64_t state_len = r.GetU64();
+  snap.state = std::string(r.GetBytes(state_len));
+  if (!r.ok() || magic != kSnapshotMagic || r.remaining() != 0) {
+    return Status::InvalidArgument("snapshot '" + path + "' is malformed");
+  }
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  return snap;
+}
+
+}  // namespace incr::store

@@ -1,0 +1,47 @@
+// Checkpoint snapshots: a point-in-time serialization of an engine's full
+// state (dictionary, base relations, per-node view payloads) paired with the
+// WAL LSN it covers. A snapshot plus the WAL records with larger LSNs is a
+// complete recipe for reconstructing the engine bit-identically; after a
+// successful snapshot the log is truncated (Wal::Restart), which is the
+// log-compaction step of the durability protocol (DESIGN.md §durability).
+//
+// File layout ("ICKP"):
+//
+//   u32 magic | u32 version | string ring-name | u64 lsn |
+//   u32 dict_len | dict bytes | u64 state_len | state bytes | u32 crc
+//
+// with the trailing CRC32C covering everything before it. Snapshots are
+// written to a temp file, fsynced, then renamed over the target, so a crash
+// mid-checkpoint leaves the previous snapshot (and the un-truncated WAL)
+// intact — there is never a moment without a recoverable state on disk.
+#ifndef INCR_STORE_CHECKPOINT_H_
+#define INCR_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "incr/util/status.h"
+
+namespace incr::store {
+
+/// A decoded snapshot. `state` is the engine-defined blob produced by
+/// IvmEngine::DumpState; `dict_blob` is the serialized string dictionary
+/// (empty when the engine has no dictionary attached).
+struct SnapshotData {
+  std::string ring_name;
+  uint64_t lsn = 0;
+  std::string dict_blob;
+  std::string state;
+};
+
+/// Atomically writes `snap` to `path` (temp file + fsync + rename).
+Status WriteSnapshotFile(const std::string& path, const SnapshotData& snap);
+
+/// Reads and validates the snapshot at `path`. NotFound when absent;
+/// InvalidArgument when the file fails magic/version/CRC validation (a
+/// corrupted snapshot is never partially applied).
+StatusOr<SnapshotData> ReadSnapshotFile(const std::string& path);
+
+}  // namespace incr::store
+
+#endif  // INCR_STORE_CHECKPOINT_H_

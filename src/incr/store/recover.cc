@@ -1,0 +1,93 @@
+#include "incr/store/recover.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "incr/obs/metrics.h"
+
+namespace incr::store {
+
+Status EnsureDir(const std::string& dir) {
+  struct stat st{};
+  if (::stat(dir.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::Ok();
+    return Status::FailedPrecondition("'" + dir +
+                                      "' exists and is not a directory");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory '" + dir +
+                            "': " + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EncodeDictDeltaPayload(ByteWriter& w, const Dictionary& dict,
+                            size_t first_code) {
+  w.PutU32(static_cast<uint32_t>(first_code));
+  w.PutU32(static_cast<uint32_t>(dict.size() - first_code));
+  for (size_t code = first_code; code < dict.size(); ++code) {
+    const std::string* s = dict.Lookup(static_cast<Value>(code));
+    w.PutString(s == nullptr ? std::string_view() : *s);
+  }
+}
+
+Status DecodeDictDeltaPayload(ByteReader& r, Dictionary* dict,
+                              uint64_t* restored) {
+  const uint32_t first = r.GetU32();
+  const uint32_t count = r.GetU32();
+  if (!r.ok() || first > dict->size()) {
+    return Status::InvalidArgument("dict record does not extend the "
+                                   "dictionary densely");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    const size_t code = first + i;
+    std::string s = r.GetString();
+    if (!r.ok()) return Status::InvalidArgument("truncated dict record");
+    if (code < dict->size()) {
+      // Already present (e.g. also covered by the snapshot): verify, don't
+      // re-intern — a mismatch means the log belongs to another dictionary.
+      const std::string* have = dict->Lookup(static_cast<Value>(code));
+      if (have == nullptr || *have != s) {
+        return Status::InvalidArgument("dict record conflicts with "
+                                       "restored dictionary");
+      }
+      continue;
+    }
+    if (static_cast<size_t>(dict->Intern(s)) != code) {
+      return Status::InvalidArgument("dict record code mismatch");
+    }
+    ++*restored;
+  }
+  return r.remaining() == 0
+             ? Status::Ok()
+             : Status::InvalidArgument("trailing bytes in dict record");
+}
+
+namespace detail {
+
+uint64_t ReplayNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RecordReplayMetrics(uint64_t records, uint64_t deltas, uint64_t ns) {
+  if (!obs::Enabled()) return;
+  auto& r = obs::MetricsRegistry::Global();
+  r.GetCounter("recover.replayed_records")->Add(records);
+  r.GetCounter("recover.replayed_deltas")->Add(deltas);
+  r.GetCounter("recover.replay_ns")->Add(ns);
+  // Replay rate in records/second — the headline recovery-speed number.
+  if (ns > 0) {
+    r.GetGauge("recover.replay_records_per_s")
+        ->Set(static_cast<int64_t>(records * 1000000000 / ns));
+  }
+}
+
+}  // namespace detail
+
+}  // namespace incr::store

@@ -1,0 +1,181 @@
+// Recovery: WAL payload codecs and log replay.
+//
+// WAL record payloads are the *inputs* of the maintenance API, not its
+// outputs: a kUpdate record is one named single-tuple delta, a kBatch record
+// is the delta sequence of one ApplyBatch call. Replay pushes these through
+// the same Update/ApplyBatch path a live engine uses, so the recovered state
+// is produced by the exact ring-operation sequence of the original run —
+// which is what makes recovery bit-identical even for non-associative float
+// rings (replaying outputs would only be value-identical).
+//
+// Payload encodings:
+//
+//   kUpdate: string relation | tuple | ring payload
+//   kBatch:  u32 count | count x (string relation | tuple | ring payload)
+//   kDict:   u32 first_code | u32 count | count x string
+//
+// kDict records persist dictionary growth between checkpoints: strings
+// interned by the caller after the last snapshot would otherwise exist
+// nowhere on disk, and any replayed tuple referencing them would decode to
+// its raw code. DurableEngine appends one before any delta record whose
+// encoding session saw the attached dictionary grow; since dictionary codes
+// are dense and issued in intern order, replaying the string list re-issues
+// the exact original codes.
+#ifndef INCR_STORE_RECOVER_H_
+#define INCR_STORE_RECOVER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "incr/data/delta.h"
+#include "incr/store/serde.h"
+#include "incr/store/wal.h"
+#include "incr/util/status.h"
+
+namespace incr::store {
+
+/// Durability directory layout: one log plus (at most) one snapshot.
+inline std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+inline std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.ickp";
+}
+
+/// Creates `dir` if it does not exist (one level; parents must exist).
+Status EnsureDir(const std::string& dir);
+
+/// What recovery found and did; exposed by DurableEngine::recovery_info()
+/// and printed by the REPL after `durable <dir>`.
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_lsn = 0;     // LSN the snapshot covers (0 = none)
+  uint64_t replayed_records = 0; // WAL records re-applied
+  uint64_t replayed_deltas = 0;  // individual deltas inside those records
+  uint64_t last_lsn = 0;         // highest LSN seen anywhere
+  uint64_t dict_entries_restored = 0;  // strings re-interned from kDict recs
+  bool wal_torn_tail = false;    // log ended in a torn record (dropped)
+  bool wal_corrupt = false;      // scan stopped at a corrupted record
+  uint64_t replay_ns = 0;        // wall time spent replaying
+};
+
+// ----------------------------------------------------------------------
+// Payload codecs. Decoders return false on any malformation; since record
+// framing is already CRC-protected, a decode failure means a version or
+// ring mismatch, and replay surfaces it as an error rather than skipping.
+
+template <RingType R>
+void EncodeUpdatePayload(ByteWriter& w, const std::string& rel,
+                         const Tuple& t, const typename R::Value& d) {
+  w.PutString(rel);
+  w.PutTuple(t);
+  PayloadSerde<R>::Write(w, d);
+}
+
+template <RingType R>
+bool DecodeUpdatePayload(ByteReader& r, Delta<R>* out) {
+  out->relation = r.GetString();
+  out->tuple = r.GetTuple();
+  return PayloadSerde<R>::Read(r, &out->delta) && r.ok();
+}
+
+template <RingType R>
+void EncodeBatchPayload(ByteWriter& w, std::span<const Delta<R>> batch) {
+  w.PutU32(static_cast<uint32_t>(batch.size()));
+  for (const Delta<R>& e : batch) {
+    EncodeUpdatePayload<R>(w, e.relation, e.tuple, e.delta);
+  }
+}
+
+template <RingType R>
+bool DecodeBatchPayload(ByteReader& r, std::vector<Delta<R>>* out) {
+  uint32_t n = r.GetU32();
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Delta<R> d;
+    if (!DecodeUpdatePayload<R>(r, &d)) return false;
+    out->push_back(std::move(d));
+  }
+  return r.ok();
+}
+
+/// Encodes the dictionary suffix [first_code, dict.size()) — the strings
+/// interned since the caller last logged (or snapshotted) the dictionary.
+void EncodeDictDeltaPayload(ByteWriter& w, const Dictionary& dict,
+                            size_t first_code);
+
+/// Re-interns a kDict payload into `dict`. Codes must line up: entries the
+/// dictionary already holds are verified, the rest must extend it densely.
+/// Reports how many strings were newly interned via `restored`.
+Status DecodeDictDeltaPayload(ByteReader& r, Dictionary* dict,
+                              uint64_t* restored);
+
+// ----------------------------------------------------------------------
+// Replay
+
+namespace detail {
+/// Records replay throughput metrics ("recover.*"); no-op when obs is off.
+void RecordReplayMetrics(uint64_t records, uint64_t deltas, uint64_t ns);
+uint64_t ReplayNowNs();
+}  // namespace detail
+
+/// Re-applies every scanned record with lsn > `after_lsn` to `engine`
+/// (anything with a Update(rel, tuple, delta) / ApplyBatch(span<Delta>)
+/// surface — IvmEngine<R> in practice), accumulating counts into `info`.
+/// kDict records are re-interned into `dict` (skipped when null — the
+/// engine-level state never depends on them).
+template <RingType R, typename Engine>
+Status ReplayWal(const WalScan& scan, uint64_t after_lsn, Engine* engine,
+                 RecoveryInfo* info, Dictionary* dict = nullptr) {
+  const uint64_t t0 = detail::ReplayNowNs();
+  std::vector<Delta<R>> batch;
+  for (const WalRecord& rec : scan.records) {
+    // Records at or below the snapshot LSN are already covered by the
+    // snapshot (possible when a crash hit between snapshot rename and log
+    // truncation — the snapshot wins, the old records are skipped).
+    if (rec.lsn <= after_lsn) continue;
+    ByteReader r(rec.payload);
+    if (rec.type == WalRecordType::kDict) {
+      if (dict != nullptr) {
+        Status st = DecodeDictDeltaPayload(r, dict,
+                                           &info->dict_entries_restored);
+        if (!st.ok()) {
+          return Status::InvalidArgument(
+              "WAL dict record " + std::to_string(rec.lsn) + ": " +
+              std::string(st.message()));
+        }
+      }
+      info->last_lsn = rec.lsn;
+      continue;  // not a delta: replayed_records counts maintenance work
+    }
+    if (rec.type == WalRecordType::kUpdate) {
+      Delta<R> d;
+      if (!DecodeUpdatePayload<R>(r, &d) || r.remaining() != 0) {
+        return Status::InvalidArgument(
+            "WAL record " + std::to_string(rec.lsn) +
+            " does not decode under ring '" + RingSerdeName<R>() + "'");
+      }
+      engine->Update(d.relation, d.tuple, d.delta);
+      ++info->replayed_deltas;
+    } else {
+      if (!DecodeBatchPayload<R>(r, &batch) || r.remaining() != 0) {
+        return Status::InvalidArgument(
+            "WAL batch record " + std::to_string(rec.lsn) +
+            " does not decode under ring '" + RingSerdeName<R>() + "'");
+      }
+      engine->ApplyBatch(std::span<const Delta<R>>(batch));
+      info->replayed_deltas += batch.size();
+    }
+    ++info->replayed_records;
+    info->last_lsn = rec.lsn;
+  }
+  info->replay_ns = detail::ReplayNowNs() - t0;
+  detail::RecordReplayMetrics(info->replayed_records, info->replayed_deltas,
+                              info->replay_ns);
+  return Status::Ok();
+}
+
+}  // namespace incr::store
+
+#endif  // INCR_STORE_RECOVER_H_

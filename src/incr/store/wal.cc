@@ -1,0 +1,338 @@
+#include "incr/store/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "incr/obs/metrics.h"
+#include "incr/store/serde.h"
+
+namespace incr::store {
+
+namespace {
+
+constexpr uint32_t kWalMagic = 0x4C415749;  // "IWAL" little-endian
+constexpr uint32_t kWalVersion = 1;
+// A frame's body is at least lsn (8) + type (1); anything bigger than 1 GiB
+// is treated as corruption rather than attempted as an allocation.
+constexpr size_t kMinBody = 9;
+constexpr size_t kMaxBody = size_t{1} << 30;
+
+// WAL metric handles (registered once; recording gated on obs::Enabled).
+struct WalMetricHandles {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Counter* flushes;
+  obs::Counter* fsyncs;
+  obs::Histogram* fsync_ns;
+  obs::Histogram* flush_records;  // group-commit batch sizes
+  obs::Gauge* lsn;
+};
+const WalMetricHandles& WalMetrics() {
+  static const WalMetricHandles h = [] {
+    auto& r = obs::MetricsRegistry::Global();
+    return WalMetricHandles{
+        r.GetCounter("wal.appends"),    r.GetCounter("wal.bytes"),
+        r.GetCounter("wal.flushes"),    r.GetCounter("wal.fsyncs"),
+        r.GetHistogram("wal.fsync_ns"), r.GetHistogram("wal.flush_records"),
+        r.GetGauge("wal.lsn"),
+    };
+  }();
+  return h;
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status IoError(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+// Reads the whole file into `out`; distinguishes not-found from IO errors.
+Status ReadFileBytes(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return errno == ENOENT ? Status::NotFound("no such file '" + path + "'")
+                           : IoError("cannot open", path);
+  }
+  out->clear();
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      ::close(fd);
+      return IoError("cannot read", path);
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return IoError("cannot write", path);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeWalHeader(std::string* out, const std::string& ring_name,
+                     uint64_t base_lsn) {
+  ByteWriter w;
+  w.PutU32(kWalMagic);
+  w.PutU32(kWalVersion);
+  w.PutU64(base_lsn);
+  w.PutString(ring_name);
+  uint32_t crc = Crc32c(w.data().data(), w.size());
+  w.PutU32(crc);
+  *out += w.data();
+}
+
+namespace {
+
+// Parses the header at the front of `bytes`; on success fills ring/base_lsn
+// and returns the header size.
+StatusOr<size_t> DecodeWalHeader(std::string_view bytes, std::string* ring,
+                                 uint64_t* base_lsn) {
+  ByteReader r(bytes);
+  uint32_t magic = r.GetU32();
+  uint32_t version = r.GetU32();
+  *base_lsn = r.GetU64();
+  *ring = r.GetString();
+  if (!r.ok() || magic != kWalMagic) {
+    return Status::InvalidArgument("not a WAL file (bad magic/header)");
+  }
+  if (version != kWalVersion) {
+    return Status::InvalidArgument("unsupported WAL version " +
+                                   std::to_string(version));
+  }
+  size_t header_len = bytes.size() - r.remaining();
+  uint32_t stored_crc = r.GetU32();
+  if (!r.ok() ||
+      stored_crc != Crc32c(bytes.data(), header_len)) {
+    return Status::InvalidArgument("WAL header checksum mismatch");
+  }
+  return header_len + 4;
+}
+
+}  // namespace
+
+StatusOr<WalScan> ScanWal(const std::string& path) {
+  std::string bytes;
+  Status st = ReadFileBytes(path, &bytes);
+  if (!st.ok()) return st;
+  WalScan scan;
+  auto header = DecodeWalHeader(bytes, &scan.ring_name, &scan.base_lsn);
+  if (!header.ok()) return header.status();
+  size_t off = *header;
+  uint64_t expect_lsn = scan.base_lsn + 1;
+  scan.valid_bytes = off;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) {
+      scan.torn_tail = true;
+      break;
+    }
+    ByteReader frame(bytes.data() + off, 8);
+    size_t body_len = frame.GetU32();
+    uint32_t crc = frame.GetU32();
+    if (body_len < kMinBody || body_len > kMaxBody) {
+      scan.corrupt = true;
+      break;
+    }
+    if (bytes.size() - off - 8 < body_len) {
+      scan.torn_tail = true;
+      break;
+    }
+    const char* body = bytes.data() + off + 8;
+    if (Crc32c(body, body_len) != crc) {
+      scan.corrupt = true;
+      break;
+    }
+    ByteReader br(body, body_len);
+    WalRecord rec;
+    rec.lsn = br.GetU64();
+    rec.type = static_cast<WalRecordType>(br.GetU8());
+    if (rec.lsn != expect_lsn ||
+        (rec.type != WalRecordType::kUpdate &&
+         rec.type != WalRecordType::kBatch &&
+         rec.type != WalRecordType::kDict)) {
+      // A record that checksums but carries a nonsense LSN or type means
+      // the framing itself went wrong — treat as corruption.
+      scan.corrupt = true;
+      break;
+    }
+    rec.payload.assign(body + kMinBody, body_len - kMinBody);
+    scan.records.push_back(std::move(rec));
+    ++expect_lsn;
+    off += 8 + body_len;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+StatusOr<std::unique_ptr<Wal>> Wal::Open(const std::string& path,
+                                         const std::string& ring_name,
+                                         const WalOptions& opts) {
+  uint64_t next_lsn = 1;
+  size_t file_bytes = 0;
+  bool fresh = false;
+  {
+    auto scan = ScanWal(path);
+    if (scan.ok()) {
+      if (scan->ring_name != ring_name) {
+        return Status::FailedPrecondition(
+            "WAL '" + path + "' was written under ring '" + scan->ring_name +
+            "', engine uses '" + ring_name + "'");
+      }
+      uint64_t last =
+          scan->records.empty() ? scan->base_lsn : scan->records.back().lsn;
+      next_lsn = last + 1;
+      file_bytes = scan->valid_bytes;
+    } else if (scan.status().code() == StatusCode::kNotFound) {
+      fresh = true;
+    } else {
+      return scan.status();
+    }
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot open", path);
+  if (fresh) {
+    std::string header;
+    EncodeWalHeader(&header, ring_name, 0);
+    Status st = WriteAll(fd, header.data(), header.size(), path);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+    file_bytes = header.size();
+  } else {
+    // Drop any torn/corrupt tail so new records extend the valid prefix.
+    if (::ftruncate(fd, static_cast<off_t>(file_bytes)) != 0) {
+      ::close(fd);
+      return IoError("cannot truncate", path);
+    }
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return IoError("cannot seek", path);
+  }
+  return std::unique_ptr<Wal>(
+      new Wal(path, fd, next_lsn, file_bytes, ring_name, opts));
+}
+
+Wal::Wal(std::string path, int fd, uint64_t next_lsn, size_t file_bytes,
+         std::string ring_name, const WalOptions& opts)
+    : path_(std::move(path)),
+      ring_name_(std::move(ring_name)),
+      opts_(opts),
+      fd_(fd),
+      next_lsn_(next_lsn),
+      file_bytes_(file_bytes) {}
+
+Wal::~Wal() {
+  // Best-effort flush (no fsync): buffered records survive a clean process
+  // exit; only a hard kill inside the group-commit window loses them.
+  if (!buffer_.empty()) FlushLocked(false);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+uint64_t Wal::Append(WalRecordType type, std::string_view payload) {
+  uint64_t lsn = next_lsn_++;
+  ByteWriter body;
+  body.PutU64(lsn);
+  body.PutU8(static_cast<uint8_t>(type));
+  body.PutBytes(payload.data(), payload.size());
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutU32(Crc32c(body.data().data(), body.size()));
+  buffer_ += frame.data();
+  buffer_ += body.data();
+  if (buffered_records_++ == 0) oldest_buffered_ns_ = SteadyNowNs();
+  if (obs::Enabled()) {
+    const auto& m = WalMetrics();
+    m.appends->Inc();
+    m.lsn->Set(static_cast<int64_t>(lsn));
+  }
+  const uint64_t window_ns = uint64_t{opts_.group_commit_window_us} * 1000;
+  if (buffer_.size() >= opts_.buffer_bytes || window_ns == 0 ||
+      SteadyNowNs() - oldest_buffered_ns_ >= window_ns) {
+    // Group commit: this flush covers every record buffered since the last
+    // one, amortizing the write (and fsync) across the group.
+    Flush();
+  }
+  return lsn;
+}
+
+Status Wal::Flush() { return FlushLocked(opts_.fsync); }
+
+Status Wal::Sync() { return FlushLocked(true); }
+
+Status Wal::FlushLocked(bool do_fsync) {
+  if (!buffer_.empty()) {
+    Status st = WriteAll(fd_, buffer_.data(), buffer_.size(), path_);
+    if (!st.ok()) return st;
+    file_bytes_ += buffer_.size();
+    if (obs::Enabled()) {
+      const auto& m = WalMetrics();
+      m.bytes->Add(buffer_.size());
+      m.flushes->Inc();
+      m.flush_records->Record(buffered_records_);
+    }
+    buffer_.clear();
+    buffered_records_ = 0;
+  }
+  if (do_fsync) {
+    const bool obs_on = obs::Enabled();
+    const uint64_t t0 = obs_on ? SteadyNowNs() : 0;
+    if (::fsync(fd_) != 0) return IoError("cannot fsync", path_);
+    if (obs_on) {
+      const auto& m = WalMetrics();
+      m.fsyncs->Inc();
+      m.fsync_ns->Record(SteadyNowNs() - t0);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Wal::Restart() {
+  // Drop buffered records too: the checkpoint that triggers a restart has
+  // already captured their effects (it snapshots the in-memory state).
+  buffer_.clear();
+  buffered_records_ = 0;
+  const std::string tmp = path_ + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return IoError("cannot create", tmp);
+  std::string header;
+  EncodeWalHeader(&header, ring_name_, last_lsn());
+  Status st = WriteAll(fd, header.data(), header.size(), tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = IoError("cannot fsync", tmp);
+  ::close(fd);
+  if (!st.ok()) return st;
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    return IoError("cannot rename over", path_);
+  }
+  ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) return IoError("cannot reopen", path_);
+  file_bytes_ = header.size();
+  return Status::Ok();
+}
+
+}  // namespace incr::store

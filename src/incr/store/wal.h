@@ -1,0 +1,145 @@
+// Write-ahead delta log: the append-only substrate of the durability layer
+// (DESIGN.md §durability). Every engine update is framed as one binary
+// record with a CRC32C checksum and a monotonic LSN, buffered in memory and
+// flushed to disk in groups (group commit), so that recovery can replay the
+// exact delta stream through the normal maintenance path.
+//
+// File layout:
+//
+//   header:  u32 magic "IWAL" | u32 version | u64 base_lsn |
+//            string ring-name | u32 header-crc
+//   record:  u32 body_len | u32 crc32c(body) | body
+//   body:    u64 lsn | u8 type | payload (body_len - 9 bytes)
+//
+// LSNs are assigned at append time, start at base_lsn + 1, and never
+// repeat: Restart() (called after a checkpoint truncates the log) writes a
+// fresh header whose base_lsn continues the old sequence, so "replay
+// records with lsn > snapshot_lsn" is always well-defined.
+//
+// Crash behavior: a crash can lose only the buffered (unflushed) suffix —
+// the classic group-commit durability window. A torn write of the last
+// record is detected by length/CRC and cleanly dropped on the next Open or
+// Scan; a corrupted record inside the file fails its CRC and stops the
+// scan there (nothing after a corruption is trusted, since frame lengths
+// can no longer be believed).
+#ifndef INCR_STORE_WAL_H_
+#define INCR_STORE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "incr/util/status.h"
+
+namespace incr::store {
+
+/// Tuning knobs for the log; the EngineOptions durability fields map 1:1.
+struct WalOptions {
+  /// Flush when the in-memory buffer reaches this many bytes.
+  size_t buffer_bytes = 1 << 20;
+  /// Group-commit window: an append flushes the whole buffer when the
+  /// oldest buffered record is at least this old. 0 = flush every append
+  /// (no grouping).
+  uint32_t group_commit_window_us = 1000;
+  /// fsync(2) on every flush. Off: flushed data reaches the OS page cache
+  /// only (survives process death, not power loss) — the right setting for
+  /// tests and benches that measure logging overhead, not disk latency.
+  bool fsync = true;
+};
+
+enum class WalRecordType : uint8_t {
+  kUpdate = 1,  // one named single-tuple delta
+  kBatch = 2,   // a batch of named deltas, applied through the bulk path
+  kDict = 3,    // dictionary growth: strings interned since the last record
+};
+
+/// One decoded record (payload owned; see recover.h for the delta codecs).
+struct WalRecord {
+  uint64_t lsn = 0;
+  WalRecordType type = WalRecordType::kUpdate;
+  std::string payload;
+};
+
+/// Result of scanning a log file: the valid record prefix plus a diagnosis
+/// of how the file ends.
+struct WalScan {
+  std::string ring_name;
+  uint64_t base_lsn = 0;
+  std::vector<WalRecord> records;
+  size_t valid_bytes = 0;  // file offset just past the last valid record
+  bool torn_tail = false;  // trailing partial record (normal after a crash)
+  bool corrupt = false;    // CRC mismatch or frame nonsense at valid_bytes
+};
+
+/// Reads and validates `path`. Returns the longest valid prefix; torn or
+/// corrupted tails are reported, not errors (recovery truncates them).
+/// A missing file or an unreadable header IS an error.
+StatusOr<WalScan> ScanWal(const std::string& path);
+
+/// The append side of the log. Not thread-safe: the engine facade serializes
+/// updates, which is the library-wide engine driving contract.
+class Wal {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending. An
+  /// existing file is scanned first: its ring name must match, the next
+  /// LSN continues after the last valid record, and any torn/corrupt tail
+  /// is truncated away so new records append to a clean prefix.
+  static StatusOr<std::unique_ptr<Wal>> Open(const std::string& path,
+                                             const std::string& ring_name,
+                                             const WalOptions& opts);
+
+  /// Flushes buffered records (without fsync) and closes the file.
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Frames and buffers one record; returns its LSN. Triggers a flush when
+  /// the buffer or the group-commit window overflows (see WalOptions).
+  uint64_t Append(WalRecordType type, std::string_view payload);
+
+  /// Writes all buffered bytes to the file, fsyncing iff opts.fsync.
+  Status Flush();
+
+  /// Flush + unconditional fsync: everything appended so far is durable.
+  Status Sync();
+
+  /// Restarts the log after a checkpoint: atomically replaces the file
+  /// with a fresh header whose base_lsn = last_lsn(), dropping all records
+  /// (they are covered by the snapshot).
+  Status Restart();
+
+  /// LSN of the most recently appended record (base_lsn if none).
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  /// Bytes in the file plus bytes still buffered.
+  size_t SizeBytes() const { return file_bytes_ + buffer_.size(); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal(std::string path, int fd, uint64_t next_lsn, size_t file_bytes,
+      std::string ring_name, const WalOptions& opts);
+
+  Status FlushLocked(bool force_fsync);
+
+  std::string path_;
+  std::string ring_name_;
+  WalOptions opts_;
+  int fd_;
+  uint64_t next_lsn_;
+  size_t file_bytes_;      // bytes durably written (well, handed to the OS)
+  std::string buffer_;     // framed records not yet written
+  size_t buffered_records_ = 0;
+  uint64_t oldest_buffered_ns_ = 0;  // steady-clock ns of first buffered rec
+};
+
+/// Serializes a WAL file header into `out` (used by Wal and tests).
+void EncodeWalHeader(std::string* out, const std::string& ring_name,
+                     uint64_t base_lsn);
+
+}  // namespace incr::store
+
+#endif  // INCR_STORE_WAL_H_

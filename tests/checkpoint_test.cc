@@ -1,0 +1,161 @@
+// Snapshot file format tests: round trips (including ring payload blobs for
+// every ring serde), atomicity of rewrite, and rejection of damaged files.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "incr/ring/bool_semiring.h"
+#include "incr/ring/covar_ring.h"
+#include "incr/ring/int_ring.h"
+#include "incr/ring/minplus_semiring.h"
+#include "incr/ring/product_ring.h"
+#include "incr/ring/provenance.h"
+#include "incr/store/checkpoint.h"
+#include "incr/store/serde.h"
+#include "incr/util/rng.h"
+
+namespace incr::store {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "ckpt_test_" + name + ".ickp";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(CheckpointTest, RoundTrip) {
+  const std::string path = TestPath("roundtrip");
+  SnapshotData snap;
+  snap.ring_name = "int";
+  snap.lsn = 12345;
+  snap.dict_blob = std::string("\x00\x01\x02 dict", 8);
+  snap.state = std::string(10000, '\x7f');
+  snap.state[777] = '\x00';
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+
+  auto back = ReadSnapshotFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->ring_name, "int");
+  EXPECT_EQ(back->lsn, 12345u);
+  EXPECT_EQ(back->dict_blob, snap.dict_blob);
+  EXPECT_EQ(back->state, snap.state);
+}
+
+TEST(CheckpointTest, EmptyBlobsRoundTrip) {
+  const std::string path = TestPath("empty");
+  SnapshotData snap;
+  snap.ring_name = "bool";
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  auto back = ReadSnapshotFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->lsn, 0u);
+  EXPECT_TRUE(back->dict_blob.empty());
+  EXPECT_TRUE(back->state.empty());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadSnapshotFile(TestPath("missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, RewriteReplacesAtomically) {
+  const std::string path = TestPath("rewrite");
+  SnapshotData snap;
+  snap.ring_name = "int";
+  snap.lsn = 1;
+  snap.state = "old";
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  snap.lsn = 2;
+  snap.state = "new";
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  auto back = ReadSnapshotFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->lsn, 2u);
+  EXPECT_EQ(back->state, "new");
+}
+
+TEST(CheckpointTest, AnySingleByteFlipIsRejected) {
+  const std::string path = TestPath("flip");
+  SnapshotData snap;
+  snap.ring_name = "int";
+  snap.lsn = 99;
+  snap.dict_blob = "dictionary";
+  snap.state = std::string(500, 's');
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  const std::string good = FileBytes(path);
+  Rng rng(3);
+  for (int trial = 0; trial < 128; ++trial) {
+    std::string bad = good;
+    bad[rng.Uniform(bad.size())] ^= 0x40;
+    WriteBytes(path, bad);
+    EXPECT_FALSE(ReadSnapshotFile(path).ok());
+  }
+}
+
+TEST(CheckpointTest, TruncationIsRejected) {
+  const std::string path = TestPath("trunc");
+  SnapshotData snap;
+  snap.ring_name = "int";
+  snap.state = std::string(100, 's');
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  const std::string good = FileBytes(path);
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    WriteBytes(path, good.substr(0, cut));
+    EXPECT_FALSE(ReadSnapshotFile(path).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointTest, TrailingGarbageIsRejected) {
+  const std::string path = TestPath("trailing");
+  SnapshotData snap;
+  snap.ring_name = "int";
+  snap.state = "state";
+  ASSERT_TRUE(WriteSnapshotFile(path, snap).ok());
+  WriteBytes(path, FileBytes(path) + "garbage");
+  EXPECT_FALSE(ReadSnapshotFile(path).ok());
+}
+
+// The snapshot state blob is ring-payload bytes produced by PayloadSerde;
+// check every ring's serde round-trips exactly (doubles bit-for-bit).
+template <RingType R>
+void CheckPayloadRoundTrip(const typename R::Value& v) {
+  ByteWriter w;
+  PayloadSerde<R>::Write(w, v);
+  ByteReader r(w.data());
+  typename R::Value back{};
+  ASSERT_TRUE(PayloadSerde<R>::Read(r, &back));
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(back == v) << "ring " << RingSerdeName<R>();
+}
+
+TEST(CheckpointTest, PayloadSerdeCoversAllRings) {
+  CheckPayloadRoundTrip<IntRing>(-42);
+  CheckPayloadRoundTrip<RealRing>(0.1 + 0.2);  // not exactly representable
+  CheckPayloadRoundTrip<BoolSemiring>(true);
+  CheckPayloadRoundTrip<MinPlusSemiring>(int64_t{7});
+  CheckPayloadRoundTrip<ProductRing<IntRing, RealRing>>({3, 2.5e-300});
+  CovarValue<2> cv;
+  cv.count = 5;
+  cv.sum = {1.25, -0.1};
+  cv.prod = {0.3, 0.7, 0.7, 1e300};
+  CheckPayloadRoundTrip<CovarRing<2>>(cv);
+  Polynomial p = Polynomial::Var(3);
+  p = ProvenanceRing::Add(p, ProvenanceRing::Mul(Polynomial::Var(1),
+                                                 Polynomial::Var(2)));
+  CheckPayloadRoundTrip<ProvenanceRing>(p);
+}
+
+}  // namespace
+}  // namespace incr::store

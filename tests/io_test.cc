@@ -1,4 +1,5 @@
 // Relation/database serialization round-trip tests.
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -76,6 +77,37 @@ TEST(IoTest, Errors) {
     std::istringstream in("relation X 1\nend\n");
     EXPECT_FALSE(ReadDatabase(in, &db).ok());  // unknown relation
   }
+}
+
+TEST(IoTest, FileRoundTripAndLineNumberedErrors) {
+  const std::string path = ::testing::TempDir() + "io_test_db.txt";
+  Database<IntRing> db;
+  RelId rid = db.AddRelation("R", Schema{0, 1});
+  db.relation(rid).Apply(Tuple{1, 2}, 3);
+  ASSERT_TRUE(WriteDatabaseFile(path, db).ok());
+
+  Database<IntRing> back;
+  back.AddRelation("R", Schema{0, 1});
+  ASSERT_TRUE(ReadDatabaseFile(path, &back).ok());
+  EXPECT_EQ(back.Find("R")->Payload(Tuple{1, 2}), 3);
+
+  // A missing file is NotFound, not a crash or a silent empty read.
+  Database<IntRing> empty;
+  EXPECT_EQ(ReadDatabaseFile(path + ".nope", &empty).code(),
+            StatusCode::kNotFound);
+
+  // Parse errors carry "<path>: line <n>" — the malformed row below is on
+  // line 4 (comment + header + good row before it).
+  {
+    std::ofstream out(path);
+    out << "# snapshot\nrelation R 2\n1 2 3\n1 nope 3\nend\n";
+  }
+  Database<IntRing> bad;
+  bad.AddRelation("R", Schema{0, 1});
+  Status st = ReadDatabaseFile(path, &bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(path), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("line 4"), std::string::npos) << st.message();
 }
 
 }  // namespace

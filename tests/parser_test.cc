@@ -56,6 +56,19 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("Q(A|B) = R(A,B)", &vars).ok());  // CQAP head
 }
 
+TEST(ParserTest, UnboundHeadVariableIsRejected) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A, X) = R(A, B), S(B, C)", &vars);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("'X'"), std::string::npos)
+      << q.status().message();
+
+  // Both the output and the input side of a CQAP head are checked.
+  EXPECT_FALSE(ParseCqap("Q(A | Y) = R(A, B)", &vars).ok());
+  EXPECT_FALSE(ParseCqap("Q(Z | A) = R(A, B)", &vars).ok());
+  EXPECT_TRUE(ParseCqap("Q(A | B) = R(A, B)", &vars).ok());
+}
+
 TEST(ParserTest, CqapHead) {
   VarRegistry vars;
   auto q = ParseCqap("Q(A | B) = S(A, B), T(B)", &vars);

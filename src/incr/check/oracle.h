@@ -1,0 +1,100 @@
+// Naive full-recompute oracle: maintains only the base relations (keyed by
+// relation name, so self-joins share one copy — the product rule falls out
+// of evaluation, not of routing) and recomputes the query output from
+// scratch on demand via the backtracking evaluator (engines/join.h). Slow
+// by design; its only jobs are to be obviously correct and deterministic.
+#ifndef INCR_CHECK_ORACLE_H_
+#define INCR_CHECK_ORACLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "incr/check/wgen.h"
+#include "incr/data/relation.h"
+#include "incr/engines/join.h"
+#include "incr/query/query.h"
+#include "incr/ring/ring.h"
+#include "incr/util/check.h"
+
+namespace incr {
+namespace check {
+
+template <RingType R>
+class RecomputeOracle {
+ public:
+  using RV = typename R::Value;
+  /// Output map over q.free() tuples, ordered lexicographically — the
+  /// canonical comparison currency of the differ.
+  using OutputMap = std::map<Tuple, RV>;
+
+  explicit RecomputeOracle(const Query& q) : query_(q) {
+    for (const Atom& a : q.atoms()) {
+      if (ByName(a.relation) == nullptr) {
+        names_.push_back(a.relation);
+        rels_.push_back(std::make_unique<Relation<R>>(a.schema));
+      } else {
+        // Parser-enforced invariant; the oracle depends on it too.
+        INCR_CHECK(ByName(a.relation)->schema().size() == a.schema.size());
+      }
+    }
+    for (const Atom& a : q.atoms()) atom_rels_.push_back(ByName(a.relation));
+  }
+
+  /// Applies one named delta to the (single) base copy of the relation.
+  void Apply(const std::string& rel, const Tuple& t, const RV& d) {
+    Relation<R>* r = ByName(rel);
+    INCR_CHECK(r != nullptr);
+    r->Apply(t, d);
+  }
+
+  /// Full recomputation of Q over the current base relations.
+  OutputMap Eval() const {
+    Relation<R> out = EvaluateQuery<R>(query_, atom_rels_);
+    OutputMap m;
+    for (const auto& e : out) m.emplace(e.key, e.value);
+    return m;
+  }
+
+  const Relation<R>& RelationNamed(const std::string& rel) const {
+    const Relation<R>* r = const_cast<RecomputeOracle*>(this)->ByName(rel);
+    INCR_CHECK(r != nullptr);
+    return *r;
+  }
+
+  const Query& query() const { return query_; }
+
+ private:
+  Relation<R>* ByName(const std::string& rel) {
+    for (size_t i = 0; i < names_.size(); ++i) {
+      if (names_[i] == rel) return rels_[i].get();
+    }
+    return nullptr;
+  }
+
+  Query query_;
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Relation<R>>> rels_;
+  std::vector<const Relation<R>*> atom_rels_;  // per atom, aliased by name
+};
+
+/// Drives a whole stream through a fresh oracle and returns the final
+/// output — the one-shot form the metamorphic tests use.
+template <RingType R>
+typename RecomputeOracle<R>::OutputMap OracleOutput(
+    const Query& q, const Stream& stream,
+    const std::function<typename R::Value(int64_t)>& lift) {
+  RecomputeOracle<R> oracle(q);
+  for (const StreamStep& s : stream.steps) {
+    for (const Delta<IntRing>& d : s.deltas) {
+      oracle.Apply(d.relation, d.tuple, lift(d.delta));
+    }
+  }
+  return oracle.Eval();
+}
+
+}  // namespace check
+}  // namespace incr
+
+#endif  // INCR_CHECK_ORACLE_H_

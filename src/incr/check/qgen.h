@@ -1,0 +1,80 @@
+// Random conjunctive-query generation for the differential-testing harness
+// (check/differ.h). A GenQuery bundles everything the differ needs to build
+// every engine over the same query: the IR, the registry that names its
+// variables, an enumerable variable order, a parseable text rendering, and
+// the structural classification that decides which engines are compatible.
+//
+// The generator samples join shapes (chains, stars, cycles/triangles, and
+// hierarchical "staircases") and free-variable sets biased to straddle the
+// q-hierarchical / acyclic / cyclic boundary, so that a modest number of
+// seeds exercises every planner path: canonical orders, path-order
+// fallbacks, the insert-only GYO tree, CQAP fractures, mixed orders, and
+// small-domain shattering.
+#ifndef INCR_CHECK_QGEN_H_
+#define INCR_CHECK_QGEN_H_
+
+#include <string>
+#include <vector>
+
+#include "incr/query/query.h"
+#include "incr/query/variable_order.h"
+#include "incr/util/rng.h"
+#include "incr/util/status.h"
+
+namespace incr {
+namespace check {
+
+/// A generated query plus everything needed to rebuild engines over it.
+struct GenQuery {
+  VarRegistry vars;
+  Query query;
+  /// An order whose plan is always enumerable (free variables form an
+  /// ancestor-closed prefix); canonical for hierarchical queries, a
+  /// free-first path otherwise.
+  VariableOrder vo;
+  /// Distinct relation names, in first-occurrence order.
+  std::vector<std::string> relations;
+  /// Shape tag ("chain", "star", "cycle", "hier") for diagnostics.
+  std::string shape;
+  /// Parseable rendering, e.g. "Q(A, B) = R0(A, B), R1(B, C)".
+  std::string text;
+  // Structural classification (cached from query/properties.h).
+  bool hierarchical = false;
+  bool q_hierarchical = false;
+  bool acyclic = false;
+  bool free_connex = false;
+
+  /// Arity of relation `rel` (first atom with that name).
+  size_t ArityOf(const std::string& rel) const;
+};
+
+struct QGenOptions {
+  size_t max_atoms = 4;   // >= 2; cycles need >= 3
+  size_t max_arity = 3;   // extra width beyond the shape's join columns
+  /// Probability of renaming one atom to an earlier atom's relation (same
+  /// arity), producing a self-join that exercises the product-rule fan-out.
+  double self_join_prob = 0.1;
+};
+
+/// Deterministically samples one query from `rng`. Never fails: every
+/// generated query admits an enumerable order (free-first path fallback).
+GenQuery GenerateQuery(Rng& rng, const QGenOptions& opts = {});
+
+/// The deterministic order-selection rule shared by the generator and the
+/// .repro loader: canonical when hierarchical and enumerable, otherwise a
+/// path with the free variables first (in q.free() order) and the bound
+/// variables after (in AllVars order).
+StatusOr<VariableOrder> EnumerableOrderFor(const Query& q);
+
+/// Renders `q` in the parser's syntax using `vars` for names.
+std::string RenderQueryText(const Query& q, const VarRegistry& vars);
+
+/// Recomputes the derived fields (vo, relations, text, classification) of a
+/// GenQuery whose `query`/`vars` were set or edited directly — used by the
+/// .repro loader and the query shrinker.
+Status FinalizeGenQuery(GenQuery* gq);
+
+}  // namespace check
+}  // namespace incr
+
+#endif  // INCR_CHECK_QGEN_H_

@@ -1,0 +1,206 @@
+#include "incr/check/repro.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "incr/check/differ.h"
+#include "incr/query/parser.h"
+
+namespace incr {
+namespace check {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+/// "R0 (1, 2) -3" -> relation, tuple, delta.
+bool ParseDeltaLine(std::string_view line, Delta<IntRing>* out) {
+  size_t open = line.find('(');
+  size_t close = line.find(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  std::string rel(Trim(line.substr(0, open)));
+  if (rel.empty()) return false;
+  out->relation = std::move(rel);
+  out->tuple.clear();
+  std::string_view inner = Trim(line.substr(open + 1, close - open - 1));
+  while (!inner.empty()) {
+    size_t comma = inner.find(',');
+    std::string_view tok =
+        comma == std::string_view::npos ? inner : inner.substr(0, comma);
+    int64_t v = 0;
+    if (!ParseInt64(Trim(tok), &v)) return false;
+    out->tuple.push_back(static_cast<Value>(v));
+    if (comma == std::string_view::npos) break;
+    inner.remove_prefix(comma + 1);
+  }
+  return ParseInt64(Trim(line.substr(close + 1)), &out->delta);
+}
+
+}  // namespace
+
+std::string RenderRepro(const GenQuery& q, const Stream& stream,
+                        uint64_t seed) {
+  std::ostringstream out;
+  out << "# incr-fuzz repro v1\n";
+  out << "seed " << seed << "\n";
+  out << "insert_only " << (stream.insert_only ? 1 : 0) << "\n";
+  out << "query " << q.text << "\n";
+  for (const StreamStep& s : stream.steps) {
+    out << "step " << (s.is_batch ? "batch" : "update");
+    if (s.dict_grow > 0) out << " dict=" << s.dict_grow;
+    out << "\n";
+    for (const Delta<IntRing>& d : s.deltas) {
+      out << "  " << d.relation << " " << RenderTuple(d.tuple) << " "
+          << d.delta << "\n";
+    }
+  }
+  return out.str();
+}
+
+StatusOr<Repro> ParseRepro(std::string_view text) {
+  Repro r;
+  bool have_query = false;
+  size_t lineno = 0;
+  auto err = [&](const std::string& what) {
+    return Status::InvalidArgument("repro line " + std::to_string(lineno) +
+                                   ": " + what);
+  };
+
+  while (!text.empty()) {
+    size_t nl = text.find('\n');
+    std::string_view raw =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    ++lineno;
+    const bool indented =
+        !raw.empty() && (raw.front() == ' ' || raw.front() == '\t');
+    std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (indented) {
+      if (r.stream.steps.empty()) return err("delta before any step");
+      Delta<IntRing> d;
+      if (!ParseDeltaLine(line, &d)) return err("bad delta line");
+      if (!have_query) return err("delta before query");
+      if (std::find(r.query.relations.begin(), r.query.relations.end(),
+                    d.relation) == r.query.relations.end()) {
+        return err("unknown relation " + d.relation);
+      }
+      if (d.tuple.size() != r.query.ArityOf(d.relation)) {
+        return err("arity mismatch for " + d.relation);
+      }
+      r.stream.steps.back().deltas.push_back(std::move(d));
+      continue;
+    }
+
+    size_t sp = line.find(' ');
+    std::string_view key = line.substr(0, sp);
+    std::string_view rest =
+        sp == std::string_view::npos ? std::string_view{} : Trim(line.substr(sp + 1));
+    if (key == "seed") {
+      int64_t v = 0;
+      if (!ParseInt64(rest, &v)) return err("bad seed");
+      r.seed = static_cast<uint64_t>(v);
+    } else if (key == "insert_only") {
+      int64_t v = 0;
+      if (!ParseInt64(rest, &v)) return err("bad insert_only");
+      r.stream.insert_only = v != 0;
+    } else if (key == "query") {
+      auto parsed = ParseQuery(rest, &r.query.vars);
+      if (!parsed.ok()) return parsed.status();
+      r.query.query = *std::move(parsed);
+      Status st = FinalizeGenQuery(&r.query);
+      if (!st.ok()) return st;
+      have_query = true;
+    } else if (key == "step") {
+      if (!have_query) return err("step before query");
+      StreamStep s;
+      size_t sp2 = rest.find(' ');
+      std::string_view kind = rest.substr(0, sp2);
+      if (kind == "batch") {
+        s.is_batch = true;
+      } else if (kind != "update") {
+        return err("unknown step kind");
+      }
+      if (sp2 != std::string_view::npos) {
+        std::string_view arg = Trim(rest.substr(sp2 + 1));
+        if (arg.substr(0, 5) == "dict=") {
+          int64_t v = 0;
+          if (!ParseInt64(arg.substr(5), &v) || v < 0) {
+            return err("bad dict count");
+          }
+          s.dict_grow = static_cast<uint32_t>(v);
+        } else if (!arg.empty()) {
+          return err("unknown step argument");
+        }
+      }
+      r.stream.steps.push_back(std::move(s));
+    } else {
+      return err("unknown directive '" + std::string(key) + "'");
+    }
+  }
+  if (!have_query) {
+    return Status::InvalidArgument("repro has no query line");
+  }
+  for (size_t i = 0; i < r.stream.steps.size(); ++i) {
+    const StreamStep& s = r.stream.steps[i];
+    if (s.deltas.empty()) {
+      return Status::InvalidArgument("repro step " + std::to_string(i + 1) +
+                                     " has no deltas");
+    }
+    if (!s.is_batch && s.deltas.size() != 1) {
+      return Status::InvalidArgument("repro step " + std::to_string(i + 1) +
+                                     ": update step with several deltas");
+    }
+  }
+  return r;
+}
+
+Status WriteReproFile(const std::string& path, const GenQuery& q,
+                      const Stream& stream, uint64_t seed) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  out << RenderRepro(q, stream, seed);
+  out.flush();
+  if (!out.good()) return Status::Internal("short write to " + path);
+  return Status::Ok();
+}
+
+StatusOr<Repro> LoadReproFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseRepro(ss.str());
+}
+
+}  // namespace check
+}  // namespace incr

@@ -1,0 +1,57 @@
+// Replayable repro files for differ failures. A .repro is a small text
+// file carrying everything needed to re-run one differential check: the
+// query (in the parser's syntax), the stream flags, and every step with
+// its deltas. The variable order is NOT stored — both the writer and the
+// loader derive it with EnumerableOrderFor, the shared deterministic rule,
+// so a repro made by one build replays identically on another.
+//
+//   # incr-fuzz repro v1
+//   seed 42
+//   insert_only 0
+//   query Q(A, B) = R0(A, B), R1(B, C)
+//   step update
+//     R0 (1, 2) 1
+//   step batch dict=1
+//     R0 (3, 4) 2
+//     R1 (4, 5) -1
+//
+// Lines starting with '#' and blank lines are ignored. Delta lines are
+// indented; `dict=N` records how many fresh strings the step interned
+// (replayed by the durable pass).
+#ifndef INCR_CHECK_REPRO_H_
+#define INCR_CHECK_REPRO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "incr/check/qgen.h"
+#include "incr/check/wgen.h"
+#include "incr/util/status.h"
+
+namespace incr {
+namespace check {
+
+struct Repro {
+  uint64_t seed = 0;  // informational: the generator seed, when known
+  GenQuery query;
+  Stream stream;
+};
+
+/// Renders a (query, stream) pair in the .repro format.
+std::string RenderRepro(const GenQuery& q, const Stream& stream,
+                        uint64_t seed);
+
+/// Parses the .repro format; validates relation names and arities against
+/// the parsed query.
+StatusOr<Repro> ParseRepro(std::string_view text);
+
+Status WriteReproFile(const std::string& path, const GenQuery& q,
+                      const Stream& stream, uint64_t seed);
+
+StatusOr<Repro> LoadReproFile(const std::string& path);
+
+}  // namespace check
+}  // namespace incr
+
+#endif  // INCR_CHECK_REPRO_H_

@@ -1,0 +1,159 @@
+#include "incr/check/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "incr/data/schema.h"
+#include "incr/util/check.h"
+
+namespace incr {
+namespace check {
+
+namespace {
+
+struct Shrinker {
+  const DifferOptions& opts;
+  GenQuery q;
+  Stream stream;
+  size_t probes = 0;
+
+  bool Fails(const GenQuery& cq, const Stream& cs) {
+    ++probes;
+    return !RunDiffer(cq, cs, opts).ok;
+  }
+
+  bool TryStream(Stream cand) {
+    if (!StreamIsNonNegative(cand)) return false;
+    if (Fails(q, cand)) {
+      stream = std::move(cand);
+      return true;
+    }
+    return false;
+  }
+
+  /// ddmin-style: delete contiguous chunks of steps, halving the chunk
+  /// size whenever a full sweep makes no progress, down to single steps.
+  void ShrinkSteps() {
+    size_t chunk = std::max<size_t>(1, stream.steps.size() / 2);
+    for (;;) {
+      bool progress = false;
+      size_t start = 0;
+      while (start < stream.steps.size()) {
+        const size_t len = std::min(chunk, stream.steps.size() - start);
+        Stream cand = stream;
+        cand.steps.erase(cand.steps.begin() + static_cast<long>(start),
+                         cand.steps.begin() + static_cast<long>(start + len));
+        if (TryStream(std::move(cand))) {
+          progress = true;  // stay at `start`: new steps shifted in
+        } else {
+          start += len;
+        }
+      }
+      if (!progress) {
+        if (chunk == 1) return;
+        chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+  }
+
+  /// Delete individual deltas inside surviving steps; a step emptied this
+  /// way disappears entirely.
+  void ShrinkDeltas() {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < stream.steps.size(); ++i) {
+        size_t j = 0;
+        while (i < stream.steps.size() &&
+               j < stream.steps[i].deltas.size()) {
+          Stream cand = stream;
+          auto& deltas = cand.steps[i].deltas;
+          deltas.erase(deltas.begin() + static_cast<long>(j));
+          const bool removed_step = deltas.empty();
+          if (removed_step) {
+            cand.steps.erase(cand.steps.begin() + static_cast<long>(i));
+          }
+          if (TryStream(std::move(cand))) {
+            progress = true;
+            if (removed_step) break;  // step i is now a different step
+          } else {
+            ++j;
+          }
+        }
+      }
+    }
+  }
+
+  /// Delete query atoms: the free set shrinks to the surviving variables,
+  /// and deltas of vanished relations drop out of the stream.
+  void ShrinkAtoms() {
+    bool progress = true;
+    while (progress && q.query.atoms().size() > 1) {
+      progress = false;
+      for (size_t a = 0; a < q.query.atoms().size(); ++a) {
+        GenQuery cq = q;
+        std::vector<Atom> atoms(q.query.atoms().begin(),
+                                q.query.atoms().end());
+        atoms.erase(atoms.begin() + static_cast<long>(a));
+        Schema surviving;
+        for (const Atom& at : atoms) {
+          surviving = SchemaUnion(surviving, at.schema);
+        }
+        Schema free;
+        for (Var v : q.query.free()) {
+          if (SchemaContains(surviving, v)) free.push_back(v);
+        }
+        cq.query = Query(q.query.name(), std::move(free), std::move(atoms));
+        if (!FinalizeGenQuery(&cq).ok()) continue;
+
+        Stream cs;
+        cs.insert_only = stream.insert_only;
+        for (const StreamStep& s : stream.steps) {
+          StreamStep ns;
+          ns.is_batch = s.is_batch;
+          ns.dict_grow = s.dict_grow;
+          for (const Delta<IntRing>& d : s.deltas) {
+            if (std::find(cq.relations.begin(), cq.relations.end(),
+                          d.relation) != cq.relations.end()) {
+              ns.deltas.push_back(d);
+            }
+          }
+          if (!ns.deltas.empty()) cs.steps.push_back(std::move(ns));
+        }
+        if (Fails(cq, cs)) {
+          q = std::move(cq);
+          stream = std::move(cs);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ShrinkResult Shrink(const GenQuery& q, const Stream& stream,
+                    const DifferOptions& opts) {
+  Shrinker sh{opts, q, stream};
+  INCR_CHECK(sh.Fails(sh.q, sh.stream));  // must start from a failing pair
+  sh.ShrinkSteps();
+  sh.ShrinkDeltas();
+  sh.ShrinkAtoms();
+  // Atom removal can unlock further stream reduction (fewer relations,
+  // fewer joins keeping a delta relevant).
+  sh.ShrinkSteps();
+  sh.ShrinkDeltas();
+
+  ShrinkResult out;
+  out.query = std::move(sh.q);
+  out.stream = std::move(sh.stream);
+  out.failure = RunDiffer(out.query, out.stream, opts);
+  out.probes = sh.probes + 1;
+  INCR_CHECK(!out.failure.ok);
+  return out;
+}
+
+}  // namespace check
+}  // namespace incr

@@ -1,0 +1,43 @@
+// Greedy minimization of failing (query, stream) pairs. Given a pair the
+// differ rejects, the shrinker searches for a smaller pair it still
+// rejects, alternating three reduction levels until none makes progress:
+//
+//   1. step chunks: delete contiguous runs of stream steps (ddmin-style,
+//      halving the chunk size down to single steps);
+//   2. deltas: delete individual deltas inside surviving batch steps
+//      (emptied steps disappear);
+//   3. atoms: delete query atoms, restricting the free set to the
+//      surviving variables and dropping deltas of vanished relations.
+//
+// The predicate is RunDiffer itself, so whatever configuration detected
+// the original failure (including injected variants) decides relevance.
+#ifndef INCR_CHECK_SHRINK_H_
+#define INCR_CHECK_SHRINK_H_
+
+#include <cstddef>
+
+#include "incr/check/differ.h"
+#include "incr/check/qgen.h"
+#include "incr/check/wgen.h"
+
+namespace incr {
+namespace check {
+
+struct ShrinkResult {
+  GenQuery query;
+  Stream stream;
+  /// The differ's verdict on the minimized pair (always a failure).
+  DiffResult failure;
+  /// Predicate evaluations spent (each one is a full differ run).
+  size_t probes = 0;
+};
+
+/// Minimizes a failing pair. `q`/`stream` must fail under `opts` (checked;
+/// INCR_CHECK). Deterministic: same inputs, same minimized output.
+ShrinkResult Shrink(const GenQuery& q, const Stream& stream,
+                    const DifferOptions& opts);
+
+}  // namespace check
+}  // namespace incr
+
+#endif  // INCR_CHECK_SHRINK_H_

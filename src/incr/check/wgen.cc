@@ -1,0 +1,118 @@
+#include "incr/check/wgen.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "incr/util/check.h"
+
+namespace incr {
+namespace check {
+
+namespace {
+
+// Tracks live (relation, tuple) pairs with positive multiplicity so deletes
+// can target something that exists — random deletes over a sparse domain
+// would almost never cancel anything.
+struct LiveSet {
+  std::vector<Delta<IntRing>> entries;  // delta holds the live multiplicity
+
+  void Apply(const Delta<IntRing>& d) {
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].relation == d.relation && entries[i].tuple == d.tuple) {
+        entries[i].delta += d.delta;
+        if (entries[i].delta <= 0) {
+          entries[i] = entries.back();
+          entries.pop_back();
+        }
+        return;
+      }
+    }
+    if (d.delta > 0) entries.push_back(d);
+  }
+};
+
+}  // namespace
+
+bool StreamIsNonNegative(const Stream& stream) {
+  // (relation, tuple) -> running multiplicity; deltas in stream order.
+  std::map<std::pair<std::string, Tuple>, int64_t> mult;
+  for (const StreamStep& s : stream.steps) {
+    for (const Delta<IntRing>& d : s.deltas) {
+      int64_t& m = mult[{d.relation, d.tuple}];
+      m += d.delta;
+      if (m < 0) return false;
+    }
+  }
+  return true;
+}
+
+Stream GenerateStream(Rng& rng, const GenQuery& q, const WGenOptions& opts) {
+  INCR_CHECK(!q.relations.empty());
+  Stream out;
+  out.insert_only = opts.insert_only;
+  ZipfSampler zipf(opts.domain, opts.zipf_skew);
+  LiveSet live;
+  size_t dict_counter = 0;
+
+  auto value = [&]() -> Value {
+    if (opts.dict != nullptr && rng.Chance(opts.dict_prob)) {
+      // Fresh string per intern call: the dictionary grows monotonically,
+      // and durable configs must persist the growth ahead of the delta.
+      std::string word = "w";
+      word += std::to_string(dict_counter++);
+      return opts.dict->Intern(word);
+    }
+    return static_cast<Value>(zipf.Sample(rng));
+  };
+
+  auto fresh_insert = [&] {
+    Delta<IntRing> d;
+    d.relation = q.relations[rng.Uniform(q.relations.size())];
+    size_t arity = q.ArityOf(d.relation);
+    for (size_t i = 0; i < arity; ++i) d.tuple.push_back(value());
+    d.delta = rng.UniformInt(1, 3);
+    return d;
+  };
+
+  auto next_delta = [&]() -> Delta<IntRing> {
+    if (!opts.insert_only && !live.entries.empty() &&
+        rng.Chance(opts.delete_prob)) {
+      const Delta<IntRing>& target =
+          live.entries[rng.Uniform(live.entries.size())];
+      Delta<IntRing> d = target;
+      // Delete part or all of the live multiplicity.
+      d.delta = -rng.UniformInt(1, target.delta);
+      return d;
+    }
+    return fresh_insert();
+  };
+
+  for (size_t step = 0; step < opts.ops; ++step) {
+    StreamStep s;
+    const size_t dict_before = dict_counter;
+    s.is_batch = rng.Chance(opts.batch_prob);
+    size_t count = s.is_batch ? 1 + rng.Uniform(opts.max_batch) : 1;
+    for (size_t i = 0; i < count; ++i) {
+      Delta<IntRing> d = next_delta();
+      live.Apply(d);
+      s.deltas.push_back(std::move(d));
+    }
+    // Self-cancelling pair: +d then -d inside the same batch. The merged
+    // batch must drop the pair entirely; per-tuple application must insert
+    // then exactly erase. Net effect zero either way.
+    if (s.is_batch && !opts.insert_only && rng.Chance(opts.cancel_prob)) {
+      Delta<IntRing> d = fresh_insert();
+      Delta<IntRing> neg = d;
+      neg.delta = -d.delta;
+      s.deltas.push_back(std::move(d));
+      s.deltas.push_back(std::move(neg));
+    }
+    s.dict_grow = static_cast<uint32_t>(dict_counter - dict_before);
+    out.steps.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace check
+}  // namespace incr

@@ -1,0 +1,88 @@
+// Random update-stream generation for the differential-testing harness.
+// Streams are sequences of steps — a single-tuple delta or a batch of
+// deltas — over a GenQuery's relations, with the adversarial features the
+// maintenance paths are most sensitive to:
+//
+//   * Zipf-skewed join keys (hot keys concentrate delta merging and shard
+//     imbalance);
+//   * deletes targeted at live tuples (payloads hit exact zero and must
+//     vanish from every view);
+//   * self-cancelling insert/delete pairs inside one batch (the merged
+//     batch drops them before any engine sees them);
+//   * dictionary-growth churn: fresh interned strings appear as values, so
+//     durable configs exercise kDict WAL records.
+//
+// Streams are over the Z ring (int64 multiplicities): Z is the universal
+// carrier — every differential comparison runs in Z, and ring-homomorphism
+// laws map a Z stream into other (semi)rings.
+#ifndef INCR_CHECK_WGEN_H_
+#define INCR_CHECK_WGEN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "incr/check/qgen.h"
+#include "incr/data/delta.h"
+#include "incr/data/value.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+
+namespace incr {
+namespace check {
+
+/// One step of a stream: a single update or one batch (one WAL record).
+struct StreamStep {
+  bool is_batch = false;
+  std::vector<Delta<IntRing>> deltas;  // exactly 1 when !is_batch
+  /// Number of fresh strings interned while generating this step. The
+  /// durable pass replays the growth (same "w<n>" strings, same order, into
+  /// an initially empty dictionary) just before applying the step, so kDict
+  /// WAL records land exactly where the application's interning would put
+  /// them. Zero when churn is disabled.
+  uint32_t dict_grow = 0;
+};
+
+struct Stream {
+  std::vector<StreamStep> steps;
+  bool insert_only = false;
+
+  /// Total number of single-tuple deltas across all steps.
+  size_t NumDeltas() const {
+    size_t n = 0;
+    for (const StreamStep& s : steps) n += s.deltas.size();
+    return n;
+  }
+};
+
+struct WGenOptions {
+  size_t ops = 200;          // number of steps
+  size_t domain = 8;         // values are drawn from [0, domain)
+  double zipf_skew = 0.8;    // 0 = uniform
+  double batch_prob = 0.35;  // probability a step is a batch
+  size_t max_batch = 24;     // batch sizes are 1..max_batch
+  double delete_prob = 0.35; // probability a delta deletes a live tuple
+  double cancel_prob = 0.1;  // per-batch chance of a self-cancelling pair
+  double dict_prob = 0.05;   // per-delta chance of a fresh interned string
+  bool insert_only = false;  // suppress deletes (multiplicities stay > 0)
+  /// When non-null, dictionary churn interns fresh strings here and uses
+  /// their codes as values; null disables churn.
+  Dictionary* dict = nullptr;
+};
+
+/// Deterministically samples a stream for `q` from `rng`. Generated
+/// streams keep every (relation, tuple) multiplicity non-negative at every
+/// point of per-delta application — the multiset contract the maintenance
+/// engines assume (deletes only retract existing tuples; aggregated view
+/// payloads over IntRing then stay non-negative and cannot cancel to zero
+/// above a non-empty subtree).
+Stream GenerateStream(Rng& rng, const GenQuery& q, const WGenOptions& opts);
+
+/// True iff the stream respects the multiset contract above. The shrinker
+/// only proposes candidates that pass, so minimized repros stay inside the
+/// regime the engines are specified for.
+bool StreamIsNonNegative(const Stream& stream);
+
+}  // namespace check
+}  // namespace incr
+
+#endif  // INCR_CHECK_WGEN_H_

@@ -1,0 +1,75 @@
+#include "incr/engines/engine_options.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace incr {
+
+namespace {
+
+// Parses a non-negative integer environment value in [min, max]. Returns
+// false (leaving *out untouched) with a stderr warning when the variable is
+// malformed or out of range — the caller keeps its default.
+bool ParseEnvInt(const char* name, const char* value, long long min,
+                 long long max, long long* out) {
+  char* end = nullptr;
+  long long v = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "incr: ignoring %s='%s' (not an integer)\n", name,
+                 value);
+    return false;
+  }
+  if (v < min || v > max) {
+    std::fprintf(stderr,
+                 "incr: ignoring %s=%lld (outside [%lld, %lld])\n", name, v,
+                 min, max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool EnvFlagOff(const char* value) {
+  std::string v(value);
+  return v == "off" || v == "0" || v == "false";
+}
+
+}  // namespace
+
+EngineOptions EngineOptions::FromEnv() {
+  EngineOptions opts;
+  long long v = 0;
+  if (const char* env = std::getenv("INCR_THREADS")) {
+    if (ParseEnvInt("INCR_THREADS", env, 0,
+                    static_cast<long long>(kMaxThreads), &v)) {
+      opts.threads = static_cast<size_t>(v);
+    }
+  }
+  if (const char* env = std::getenv("INCR_SHARDS")) {
+    if (ParseEnvInt("INCR_SHARDS", env, 1,
+                    static_cast<long long>(kMaxShards), &v)) {
+      opts.shards = static_cast<size_t>(v);
+    }
+  }
+  if (const char* env = std::getenv("INCR_OBS")) {
+    opts.obs = !EnvFlagOff(env);
+  }
+  if (const char* env = std::getenv("INCR_FSYNC")) {
+    opts.fsync = !EnvFlagOff(env);
+  }
+  if (const char* env = std::getenv("INCR_WAL_BUFFER_BYTES")) {
+    if (ParseEnvInt("INCR_WAL_BUFFER_BYTES", env, 1,
+                    static_cast<long long>(kMaxWalBufferBytes), &v)) {
+      opts.wal_buffer_bytes = static_cast<size_t>(v);
+    }
+  }
+  if (const char* env = std::getenv("INCR_GROUP_COMMIT_US")) {
+    if (ParseEnvInt("INCR_GROUP_COMMIT_US", env, 0,
+                    static_cast<long long>(kMaxGroupCommitUs), &v)) {
+      opts.group_commit_window_us = static_cast<uint32_t>(v);
+    }
+  }
+  return opts;
+}
+
+}  // namespace incr

@@ -50,31 +50,22 @@ struct EngineOptions {
   /// current (usually empty) state.
   bool recover_on_open = true;
 
-  /// Reads the INCR_THREADS / INCR_SHARDS / INCR_OBS environment variables
-  /// into an options struct (unset variables keep the defaults above) —
-  /// the bridge from the pre-EngineOptions configuration surface.
-  static EngineOptions FromEnv() {
-    EngineOptions opts;
-    if (const char* env = std::getenv("INCR_THREADS")) {
-      char* end = nullptr;
-      long v = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && v >= 0) {
-        opts.threads = static_cast<size_t>(v);
-      }
-    }
-    if (const char* env = std::getenv("INCR_SHARDS")) {
-      char* end = nullptr;
-      long v = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && v > 0) {
-        opts.shards = static_cast<size_t>(v);
-      }
-    }
-    if (const char* env = std::getenv("INCR_OBS")) {
-      std::string v(env);
-      opts.obs = !(v == "off" || v == "0" || v == "false");
-    }
-    return opts;
-  }
+  /// Reads the INCR_THREADS / INCR_SHARDS / INCR_OBS / INCR_FSYNC /
+  /// INCR_WAL_BUFFER_BYTES / INCR_GROUP_COMMIT_US environment variables
+  /// into an options struct — the bridge from the pre-EngineOptions
+  /// configuration surface. Unset variables keep the defaults above;
+  /// malformed or out-of-range values are ignored with a one-line warning
+  /// on stderr and never abort (env vars reach us from shells and CI
+  /// configs, where a typo must not take the process down).
+  static EngineOptions FromEnv();
+
+  // Sanity ceilings for environment-supplied values. Generous — they exist
+  // to catch unit mistakes (e.g. a byte count in a microsecond knob), not
+  // to police reasonable configurations.
+  static constexpr size_t kMaxThreads = 1024;
+  static constexpr size_t kMaxShards = 1 << 16;
+  static constexpr size_t kMaxWalBufferBytes = size_t{1} << 30;  // 1 GiB
+  static constexpr uint32_t kMaxGroupCommitUs = 60 * 1000 * 1000;  // 1 min
 };
 
 }  // namespace incr

@@ -53,14 +53,32 @@ class Lexer {
 
   size_t pos() const { return pos_; }
 
+  /// 1-based line and column of the current position, for error messages
+  /// (query text arrives from REPL input and .repro files, where "line 3,
+  /// column 7" is actionable and a byte offset is not).
+  std::pair<size_t, size_t> LineCol() const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return {line, col};
+  }
+
  private:
   std::string_view text_;
   size_t pos_ = 0;
 };
 
 Status SyntaxError(const Lexer& lex, const std::string& what) {
-  return Status::InvalidArgument("parse error near offset " +
-                                 std::to_string(lex.pos()) + ": " + what);
+  auto [line, col] = lex.LineCol();
+  return Status::InvalidArgument("parse error at line " +
+                                 std::to_string(line) + ", column " +
+                                 std::to_string(col) + ": " + what);
 }
 
 // Parses "( v1, v2, ... )" (possibly empty); appends to `out`.
@@ -126,6 +144,30 @@ StatusOr<std::vector<Atom>> ParseBody(Lexer& lex, VarRegistry* vars) {
     if (atom.schema.empty()) {
       return SyntaxError(lex, "atoms need at least one variable");
     }
+    // A variable may not repeat inside one atom: relation schemas bind each
+    // column to a distinct variable, and the storage layer keys tuples by
+    // position — R(A, A) would silently drop the implied equality.
+    for (size_t i = 0; i < atom.schema.size(); ++i) {
+      for (size_t j = i + 1; j < atom.schema.size(); ++j) {
+        if (atom.schema[i] == atom.schema[j]) {
+          return SyntaxError(lex, "variable '" +
+                                      vars->Name(atom.schema[i]) +
+                                      "' repeats within atom '" + rel + "'");
+        }
+      }
+    }
+    // Atoms naming the same relation are self-joins over one stored copy,
+    // so their arities must agree (the engines and the recompute oracle
+    // alias them by name).
+    for (const Atom& prev : atoms) {
+      if (prev.relation == rel && prev.schema.size() != atom.schema.size()) {
+        return SyntaxError(
+            lex, "relation '" + rel + "' used with arity " +
+                     std::to_string(atom.schema.size()) +
+                     " after earlier arity " +
+                     std::to_string(prev.schema.size()));
+      }
+    }
     atoms.push_back(std::move(atom));
     if (lex.AtEnd()) return atoms;
     if (!lex.Eat(',') && !lex.Eat('*')) {
@@ -146,10 +188,17 @@ Status CheckHeadSafety(const Head& head, const std::vector<Atom>& atoms,
     return false;
   };
   for (const Schema* part : {&head.output, &head.input}) {
-    for (Var v : *part) {
+    for (size_t i = 0; i < part->size(); ++i) {
+      Var v = (*part)[i];
       if (!bound(v)) {
         return Status::InvalidArgument("head variable '" + vars.Name(v) +
                                        "' does not occur in the query body");
+      }
+      for (size_t j = i + 1; j < part->size(); ++j) {
+        if ((*part)[j] == v) {
+          return Status::InvalidArgument("head variable '" + vars.Name(v) +
+                                         "' is listed twice");
+        }
       }
     }
   }

@@ -15,11 +15,13 @@
 #ifndef INCR_STORE_SERDE_H_
 #define INCR_STORE_SERDE_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "incr/data/relation.h"
 #include "incr/data/sharded_relation.h"
@@ -271,18 +273,50 @@ std::string RingSerdeName() {
 }
 
 // ----------------------------------------------------------------------
-// Relation serde: a u64 count followed by (tuple, payload) entries in the
-// relation's dense-storage order. Loading applies each entry to a cleared
-// relation, so every Apply is a fresh insert and payloads are restored
-// byte-for-byte — no ring additions happen on the load path, which is what
-// makes recovered float-ring state bit-identical to the dumped state.
+// Relation serde: a u64 count followed by (tuple, payload) entries in
+// canonical (lexicographic key) order. Canonical order makes the dump a
+// pure function of the relation's *contents*: the in-memory iteration
+// order of a relation is history-dependent (DenseMap erase swap-removes in
+// the dense array while GroupedIndex erase swap-removes inside each group,
+// so after deletions the two orders drift apart), and a snapshot load
+// rebuilds both in dump order — necessarily losing one of them. Sorting
+// here means two semantically equal relations always serialize to the same
+// bytes, which is what makes "recovered state is bit-identical to a shadow
+// replay" (recovery_test, check/differ) a true invariant rather than one
+// that only holds for delete-free histories.
+//
+// Loading applies each entry to a cleared relation, so every Apply is a
+// fresh insert and payloads are restored byte-for-byte — no ring additions
+// happen on the load path, which is what makes recovered float-ring state
+// bit-identical to the dumped state.
+
+namespace internal {
+
+inline bool TupleLess(const Tuple& a, const Tuple& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+/// Entries of `rel` (any container of {key: Tuple, value} entries with
+/// begin/end) as pointers sorted by key. Keys within one relation are
+/// unique, so the order is total.
+template <typename Rel>
+std::vector<const typename Rel::Entry*> SortedEntries(const Rel& rel) {
+  std::vector<const typename Rel::Entry*> order;
+  order.reserve(rel.size());
+  for (const auto& e : rel) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return TupleLess(a->key, b->key); });
+  return order;
+}
+
+}  // namespace internal
 
 template <RingType R>
 void WriteRelation(ByteWriter& w, const Relation<R>& rel) {
   w.PutU64(rel.size());
-  for (const auto& e : rel) {
-    w.PutTuple(e.key);
-    PayloadSerde<R>::Write(w, e.value);
+  for (const auto* e : internal::SortedEntries(rel)) {
+    w.PutTuple(e->key);
+    PayloadSerde<R>::Write(w, e->value);
   }
 }
 
@@ -308,10 +342,21 @@ Status ReadRelationInto(ByteReader& r, Relation<R>* rel) {
 
 template <RingType R>
 void WriteShardedRelation(ByteWriter& w, const ShardedRelation<R>& rel) {
+  // One globally sorted stream across shards: shard membership is a pure
+  // function of the key prefix, so loading re-routes every entry to the
+  // shard it came from and the dump stays canonical for any shard count.
   w.PutU64(rel.size());
-  for (const auto& e : rel) {
-    w.PutTuple(e.key);
-    PayloadSerde<R>::Write(w, e.value);
+  std::vector<const typename Relation<R>::Entry*> order;
+  order.reserve(rel.size());
+  for (size_t s = 0; s < rel.num_shards(); ++s) {
+    for (const auto& e : rel.shard(s)) order.push_back(&e);
+  }
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return internal::TupleLess(a->key, b->key);
+  });
+  for (const auto* e : order) {
+    w.PutTuple(e->key);
+    PayloadSerde<R>::Write(w, e->value);
   }
 }
 

@@ -1,0 +1,148 @@
+// EngineOptions::FromEnv hardening: environment variables come from shells
+// and CI configs, so malformed or absurd values must degrade to defaults
+// with a warning — never crash, never smuggle a nonsense value into the
+// engine layer. Table-driven over every variable the bridge reads.
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "incr/engines/engine_options.h"
+
+namespace incr {
+namespace {
+
+const char* const kAllVars[] = {
+    "INCR_THREADS",    "INCR_SHARDS",           "INCR_OBS",
+    "INCR_FSYNC",      "INCR_WAL_BUFFER_BYTES", "INCR_GROUP_COMMIT_US",
+};
+
+// Clears every FromEnv variable around each test so cases are independent
+// of each other and of the invoking shell.
+class EngineOptionsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ClearAll(); }
+  void TearDown() override { ClearAll(); }
+
+  static void ClearAll() {
+    for (const char* v : kAllVars) unsetenv(v);
+  }
+};
+
+TEST_F(EngineOptionsEnvTest, UnsetEnvironmentYieldsDefaults) {
+  EngineOptions opts = EngineOptions::FromEnv();
+  EngineOptions defaults;
+  EXPECT_EQ(opts.threads, defaults.threads);
+  EXPECT_EQ(opts.shards, defaults.shards);
+  EXPECT_FALSE(opts.obs.has_value());
+  EXPECT_EQ(opts.fsync, defaults.fsync);
+  EXPECT_EQ(opts.wal_buffer_bytes, defaults.wal_buffer_bytes);
+  EXPECT_EQ(opts.group_commit_window_us, defaults.group_commit_window_us);
+}
+
+TEST_F(EngineOptionsEnvTest, ValidValuesAreApplied) {
+  setenv("INCR_THREADS", "8", 1);
+  setenv("INCR_SHARDS", "32", 1);
+  setenv("INCR_WAL_BUFFER_BYTES", "65536", 1);
+  setenv("INCR_GROUP_COMMIT_US", "0", 1);
+  setenv("INCR_FSYNC", "off", 1);
+  setenv("INCR_OBS", "1", 1);
+  EngineOptions opts = EngineOptions::FromEnv();
+  EXPECT_EQ(opts.threads, 8u);
+  EXPECT_EQ(opts.shards, 32u);
+  EXPECT_EQ(opts.wal_buffer_bytes, 65536u);
+  EXPECT_EQ(opts.group_commit_window_us, 0u);
+  EXPECT_FALSE(opts.fsync);
+  ASSERT_TRUE(opts.obs.has_value());
+  EXPECT_TRUE(*opts.obs);
+}
+
+TEST_F(EngineOptionsEnvTest, MalformedNumbersFallBackToDefaults) {
+  const EngineOptions defaults;
+  // Leading whitespace is not here: strtol conventionally skips it, and
+  // " 4" meaning 4 surprises nobody. Trailing junk does get rejected.
+  const std::vector<std::string> bad = {"abc", "12abc", "",    "4 ",
+                                        "0x10", "1e3",  "--2", "+"};
+  for (const std::string& v : bad) {
+    ClearAll();
+    setenv("INCR_THREADS", v.c_str(), 1);
+    setenv("INCR_SHARDS", v.c_str(), 1);
+    setenv("INCR_WAL_BUFFER_BYTES", v.c_str(), 1);
+    setenv("INCR_GROUP_COMMIT_US", v.c_str(), 1);
+    EngineOptions opts = EngineOptions::FromEnv();
+    EXPECT_EQ(opts.threads, defaults.threads) << "value '" << v << "'";
+    EXPECT_EQ(opts.shards, defaults.shards) << "value '" << v << "'";
+    EXPECT_EQ(opts.wal_buffer_bytes, defaults.wal_buffer_bytes)
+        << "value '" << v << "'";
+    EXPECT_EQ(opts.group_commit_window_us, defaults.group_commit_window_us)
+        << "value '" << v << "'";
+  }
+}
+
+TEST_F(EngineOptionsEnvTest, OutOfRangeValuesFallBackToDefaults) {
+  const EngineOptions defaults;
+  struct Case {
+    const char* var;
+    const char* value;
+  };
+  const std::vector<Case> cases = {
+      {"INCR_THREADS", "-1"},
+      {"INCR_THREADS", "1000000"},
+      {"INCR_SHARDS", "0"},        // zero shards is meaningless
+      {"INCR_SHARDS", "-4"},
+      {"INCR_SHARDS", "999999999"},
+      {"INCR_WAL_BUFFER_BYTES", "0"},
+      {"INCR_WAL_BUFFER_BYTES", "-1"},
+      {"INCR_WAL_BUFFER_BYTES", "99999999999999999"},
+      {"INCR_GROUP_COMMIT_US", "-5"},
+      {"INCR_GROUP_COMMIT_US", "999999999999"},  // ~11.6 days
+  };
+  for (const Case& c : cases) {
+    ClearAll();
+    setenv(c.var, c.value, 1);
+    EngineOptions opts = EngineOptions::FromEnv();
+    EXPECT_EQ(opts.threads, defaults.threads)
+        << c.var << "=" << c.value;
+    EXPECT_EQ(opts.shards, defaults.shards) << c.var << "=" << c.value;
+    EXPECT_EQ(opts.wal_buffer_bytes, defaults.wal_buffer_bytes)
+        << c.var << "=" << c.value;
+    EXPECT_EQ(opts.group_commit_window_us, defaults.group_commit_window_us)
+        << c.var << "=" << c.value;
+  }
+}
+
+TEST_F(EngineOptionsEnvTest, BoundaryValuesAreAccepted) {
+  setenv("INCR_THREADS", "0", 1);  // 0 = auto is a valid request
+  EngineOptions opts = EngineOptions::FromEnv();
+  EXPECT_EQ(opts.threads, 0u);
+
+  ClearAll();
+  setenv("INCR_THREADS", std::to_string(EngineOptions::kMaxThreads).c_str(),
+         1);
+  setenv("INCR_SHARDS", std::to_string(EngineOptions::kMaxShards).c_str(),
+         1);
+  opts = EngineOptions::FromEnv();
+  EXPECT_EQ(opts.threads, EngineOptions::kMaxThreads);
+  EXPECT_EQ(opts.shards, EngineOptions::kMaxShards);
+}
+
+TEST_F(EngineOptionsEnvTest, FlagVariablesAcceptTheOffSpellings) {
+  for (const char* off : {"off", "0", "false"}) {
+    ClearAll();
+    setenv("INCR_OBS", off, 1);
+    setenv("INCR_FSYNC", off, 1);
+    EngineOptions opts = EngineOptions::FromEnv();
+    ASSERT_TRUE(opts.obs.has_value()) << off;
+    EXPECT_FALSE(*opts.obs) << off;
+    EXPECT_FALSE(opts.fsync) << off;
+  }
+  // Anything else — including garbage — reads as "on"; a typo enabling
+  // observability or fsync is safe, a typo disabling durability is not.
+  ClearAll();
+  setenv("INCR_FSYNC", "fales", 1);
+  EXPECT_TRUE(EngineOptions::FromEnv().fsync);
+}
+
+}  // namespace
+}  // namespace incr

@@ -56,6 +56,64 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(ParseQuery("Q(A|B) = R(A,B)", &vars).ok());  // CQAP head
 }
 
+TEST(ParserTest, ErrorsCarryLineAndColumn) {
+  VarRegistry vars;
+  // Single line: the missing body is discovered at the end of line 1.
+  auto q = ParseQuery("Q(A)", &vars);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("line 1"), std::string::npos)
+      << q.status().message();
+
+  // Multi-line input (as in a .repro or REPL paste): the bad atom sits on
+  // line 3 and the error says so.
+  auto m = ParseQuery("Q(A, B) =\n  R(A, B),\n  S(", &vars);
+  ASSERT_FALSE(m.ok());
+  EXPECT_NE(m.status().message().find("line 3"), std::string::npos)
+      << m.status().message();
+  EXPECT_NE(m.status().message().find("column"), std::string::npos);
+}
+
+TEST(ParserTest, SelfJoinSharesOneRelation) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A, B, C) = E(A, B), E(B, C)", &vars);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 2u);
+}
+
+TEST(ParserTest, SameRelationDifferentArityIsRejected) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A, B, C) = R(A, B), R(A, B, C)", &vars);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("'R'"), std::string::npos)
+      << q.status().message();
+  EXPECT_NE(q.status().message().find("arity"), std::string::npos);
+}
+
+TEST(ParserTest, RepeatedVariableWithinAtomIsRejected) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A) = R(A, A)", &vars);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("'A'"), std::string::npos)
+      << q.status().message();
+  // Across different atoms a repeat is just a join — fine.
+  EXPECT_TRUE(ParseQuery("Q(A) = R(A), S(A)", &vars).ok());
+}
+
+TEST(ParserTest, DuplicateHeadVariableIsRejected) {
+  VarRegistry vars;
+  auto q = ParseQuery("Q(A, A) = R(A, B)", &vars);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("twice"), std::string::npos)
+      << q.status().message();
+  EXPECT_FALSE(ParseCqap("Q(A | B, B) = R(A, B)", &vars).ok());
+}
+
+TEST(ParserTest, MissingQueryNameIsRejected) {
+  VarRegistry vars;
+  EXPECT_FALSE(ParseQuery("(A) = R(A)", &vars).ok());
+  EXPECT_FALSE(ParseQuery("= R(A)", &vars).ok());
+}
+
 TEST(ParserTest, UnboundHeadVariableIsRejected) {
   VarRegistry vars;
   auto q = ParseQuery("Q(A, X) = R(A, B), S(B, C)", &vars);

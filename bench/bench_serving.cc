@@ -1,0 +1,220 @@
+// E17: snapshot-isolated serving under sustained update load (DESIGN.md
+// §concurrency).
+//
+// One maintainer thread streams 100-delta batches into a snapshot-enabled
+// view-tree engine while reader threads enumerate via EnumerateSnapshot.
+// Part 1 measures the idle baseline: snapshot-enumeration latency with no
+// writer running. Part 2 turns the maintainer on and measures the same
+// latency distribution under load, plus reader throughput and maintainer
+// batch rate. Expected shape — and the acceptance bar — is that the p99
+// snapshot-enumeration latency under load stays within 2x of idle: readers
+// run on pinned immutable versions, so the writer should cost them nothing
+// beyond cache pressure and the occasional allocator collision. Results
+// land in BENCH_serving.json.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "incr/engines/engine.h"
+#include "incr/ring/int_ring.h"
+#include "incr/util/rng.h"
+#include "incr/util/stats.h"
+
+using namespace incr;
+using namespace incr::bench;
+
+namespace {
+
+enum : Var { A = 0, B = 1, C = 2 };
+
+bool SmokeMode() {
+  const char* v = std::getenv("INCR_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+ViewTreeEngine<IntRing> MakeEngine() {
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  INCR_CHECK(tree.ok());
+  return ViewTreeEngine<IntRing>(*std::move(tree));
+}
+
+std::vector<Delta<IntRing>> DrawUpdates(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Delta<IntRing>> out;
+  out.reserve(n);
+  for (int64_t i = 0; i < n; ++i) {
+    Delta<IntRing> d;
+    d.relation.assign(rng.Chance(0.5) ? "R" : "S", 1);
+    d.tuple = Tuple{rng.UniformInt(0, 499), rng.UniformInt(0, 999)};
+    d.delta = 1;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Runs `iters` timed EnumerateSnapshot calls; appends each latency (ns)
+/// to `lat_ns` and returns the total tuples enumerated.
+int64_t TimedEnumerations(IvmEngine<IntRing>& e, int64_t iters,
+                          std::vector<double>* lat_ns) {
+  int64_t tuples = 0;
+  for (int64_t i = 0; i < iters; ++i) {
+    const uint64_t t0 = NowNs();
+    tuples += static_cast<int64_t>(e.EnumerateSnapshot(nullptr));
+    lat_ns->push_back(static_cast<double>(NowNs() - t0));
+  }
+  return tuples;
+}
+
+void EmitLatencyRow(JsonArrayWriter* json, const char* section,
+                    const std::vector<double>& lat_ns, int64_t enums,
+                    int64_t tuples, double seconds) {
+  const double p50 = Percentile(lat_ns, 50);
+  const double p99 = Percentile(lat_ns, 99);
+  Row({section, FmtInt(enums), Fmt(p50), Fmt(p99),
+       Fmt(seconds == 0 ? 0.0 : static_cast<double>(enums) / seconds)});
+  json->BeginObject();
+  json->Field("section", std::string(section));
+  json->Field("enumerations", enums);
+  json->Field("tuples", tuples);
+  json->Field("p50_ns", p50);
+  json->Field("p99_ns", p99);
+  json->Field("enums_per_s",
+              seconds == 0 ? 0.0 : static_cast<double>(enums) / seconds);
+  json->EndObject();
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = SmokeMode();
+  const int64_t n_initial = smoke ? 5000 : 100000;
+  const int64_t idle_iters = smoke ? 200 : 2000;
+  const int64_t load_batches = smoke ? 300 : 3000;
+  const size_t batch = 100;
+  // Readers never exceed the cores left after the maintainer: on a
+  // starved host extra readers only measure run-queue wait, not the
+  // serving path.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t n_readers =
+      hw > 4 ? 4 : (hw > 1 ? static_cast<size_t>(hw) - 1 : 1);
+  JsonArrayWriter json;
+
+  ViewTreeEngine<IntRing> eng = MakeEngine();
+  EngineOptions opts;
+  opts.snapshot_reads = true;
+  opts.max_retained_epochs = 4;
+  eng.Configure(opts);
+
+  // Initial database, applied as batches through the normal publish path.
+  auto initial = DrawUpdates(n_initial, 42);
+  for (size_t off = 0; off < initial.size(); off += batch) {
+    size_t n = std::min(batch, initial.size() - off);
+    eng.ApplyBatch(std::span<const Delta<IntRing>>(initial.data() + off, n));
+  }
+
+  Section("snapshot enumeration latency: idle vs under update load");
+  Row({"mode", "enums", "p50 ns", "p99 ns", "enums/s"});
+
+  // Part 1: idle baseline — no writer running.
+  std::vector<double> idle_lat;
+  idle_lat.reserve(static_cast<size_t>(idle_iters));
+  const uint64_t idle_t0 = NowNs();
+  int64_t idle_tuples = TimedEnumerations(eng, idle_iters, &idle_lat);
+  const double idle_s = static_cast<double>(NowNs() - idle_t0) * 1e-9;
+  EmitLatencyRow(&json, "idle", idle_lat, idle_iters, idle_tuples, idle_s);
+  const double idle_p99 = Percentile(idle_lat, 99);
+
+  // Part 2: the maintainer streams batches while readers enumerate.
+  auto load = DrawUpdates(load_batches * static_cast<int64_t>(batch), 43);
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> reader_lat(n_readers);
+  std::vector<int64_t> reader_tuples(n_readers, 0);
+  std::vector<int64_t> reader_enums(n_readers, 0);
+  std::vector<std::thread> readers;
+  readers.reserve(n_readers);
+  const uint64_t load_t0 = NowNs();
+  for (size_t r = 0; r < n_readers; ++r) {
+    readers.emplace_back([&, r] {
+      while (!stop.load(std::memory_order_acquire)) {
+        reader_tuples[r] += TimedEnumerations(eng, 1, &reader_lat[r]);
+        ++reader_enums[r];
+      }
+    });
+  }
+  for (int64_t b = 0; b < load_batches; ++b) {
+    const auto* p = load.data() + b * static_cast<int64_t>(batch);
+    eng.ApplyBatch(std::span<const Delta<IntRing>>(p, batch));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  const double load_s = static_cast<double>(NowNs() - load_t0) * 1e-9;
+
+  std::vector<double> load_lat;
+  int64_t load_tuples = 0;
+  int64_t load_enums = 0;
+  for (size_t r = 0; r < n_readers; ++r) {
+    load_lat.insert(load_lat.end(), reader_lat[r].begin(),
+                    reader_lat[r].end());
+    load_tuples += reader_tuples[r];
+    load_enums += reader_enums[r];
+  }
+  EmitLatencyRow(&json, "loaded", load_lat, load_enums, load_tuples, load_s);
+  const double load_p99 = Percentile(load_lat, 99);
+
+  const double batch_rate = static_cast<double>(load_batches) / load_s;
+  std::printf("maintainer: %lld batches of %zu deltas in %.2f s (%.3g batches/s)\n",
+              static_cast<long long>(load_batches), batch, load_s, batch_rate);
+  json.BeginObject();
+  json.Field("section", std::string("maintainer"));
+  json.Field("batches", load_batches);
+  json.Field("batch_deltas", static_cast<int64_t>(batch));
+  json.Field("batches_per_s", batch_rate);
+  json.EndObject();
+
+  const double ratio = idle_p99 == 0 ? 0.0 : load_p99 / idle_p99;
+  std::printf("acceptance: loaded p99 %.3g ns vs idle p99 %.3g ns = %.2fx %s 2x target\n",
+              load_p99, idle_p99, ratio, ratio <= 2.0 ? "<=" : "EXCEEDS");
+  if (hw < n_readers + 1) {
+    // The 2x bar assumes the maintainer and each reader get a core. When
+    // they time-share, p99 includes whole maintainer batches of run-queue
+    // wait — scheduler preemption, not reader-writer interference (the
+    // read path takes no locks either way).
+    std::printf(
+        "note: %u hardware thread(s) for %zu reader(s) + 1 maintainer — "
+        "p99 is dominated by preemption; judge the 2x target on a host "
+        "with >= %zu cores\n",
+        hw, n_readers, n_readers + 1);
+  }
+  json.BeginObject();
+  json.Field("section", std::string("acceptance"));
+  json.Field("idle_p99_ns", idle_p99);
+  json.Field("loaded_p99_ns", load_p99);
+  json.Field("p99_ratio", ratio);
+  json.Field("readers", static_cast<int64_t>(n_readers));
+  json.Field("cores_contended",
+             static_cast<int64_t>(hw < n_readers + 1 ? 1 : 0));
+  json.EndObject();
+
+  if (!json.WriteFile("BENCH_serving.json")) {
+    std::fprintf(stderr, "failed to write BENCH_serving.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_serving.json\n");
+  return 0;
+}

@@ -5,8 +5,10 @@
 #ifndef INCR_BENCH_BENCH_UTIL_H_
 #define INCR_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -56,7 +58,19 @@ class JsonArrayWriter {
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;
-    std::fprintf(f, "{\n\"build\": %s,\n", BuildInfoJson().c_str());
+    // The build section additionally records the machine's hardware
+    // concurrency and the bench's wall-clock duration (writer construction
+    // to WriteFile) — enough to judge whether two BENCH_*.json artifacts
+    // were produced under comparable conditions.
+    std::string build = BuildInfoJson();
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - start_;
+    char extra[96];
+    std::snprintf(extra, sizeof(extra),
+                  ", \"hardware_concurrency\": %u, \"wall_seconds\": %.3f}",
+                  std::thread::hardware_concurrency(), wall.count());
+    build.replace(build.rfind('}'), 1, extra);
+    std::fprintf(f, "{\n\"build\": %s,\n", build.c_str());
     for (const auto& [key, json] : sections_) {
       std::fprintf(f, "\"%s\": %s,\n", Escape(key).c_str(), json.c_str());
     }
@@ -85,6 +99,8 @@ class JsonArrayWriter {
   std::vector<std::string> fields_;
   std::vector<std::string> objects_;
   std::vector<std::pair<std::string, std::string>> sections_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Prints a separator + title block.

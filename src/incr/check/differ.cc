@@ -1,9 +1,12 @@
 #include "incr/check/differ.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <span>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "incr/cqap/cqap_engine.h"
@@ -427,6 +430,138 @@ DiffResult RunDiffer(const GenQuery& q, const Stream& stream,
             {"dump:" + g, applied,
              "dump -> load -> dump not stable: " +
                  FirstByteDiff(again, dumps[0].bytes)});
+      }
+    }
+    if (!res.ok) return res;
+  }
+
+  // Snapshot-isolation pass (tier 4): reader threads enumerate pinned
+  // snapshots while the maintainer re-applies the stream, one ApplyBatch
+  // (hence one published epoch) per non-empty step. Each observation must
+  // be bit-equal to the sequential ledger at its epoch, and per-reader
+  // epochs must be monotone. The final main-thread check (epoch count +
+  // content) is what makes an injected torn publish fail deterministically
+  // even when no reader happened to sample the interloper epoch.
+  if (opts.readers > 0) {
+    const Schema vt_out = MakeTree(q).OutputSchema();
+    ViewTreeEngine<IntRing> ledger(MakeTree(q));
+    if (ledger.tree().plan().CanEnumerate().ok()) {
+      // One applied batch per non-empty step: epoch base + k <-> prefix of
+      // k applied steps.
+      std::vector<const StreamStep*> steps;
+      for (const StreamStep& s : stream.steps) {
+        if (!s.deltas.empty()) steps.push_back(&s);
+      }
+      std::vector<OutMap> expected;
+      expected.reserve(steps.size() + 1);
+      expected.push_back(ProjectedOutput(ledger, vt_out, free));
+      for (const StreamStep* s : steps) {
+        ledger.ApplyBatch(std::span<const Delta<IntRing>>(s->deltas));
+        expected.push_back(ProjectedOutput(ledger, vt_out, free));
+      }
+
+      ViewTreeEngine<IntRing> eng(MakeTree(q));
+      EngineOptions copts;
+      copts.threads = opts.threads;
+      copts.snapshot_reads = true;
+      copts.max_retained_epochs = 8;
+      eng.Configure(copts);
+      const ViewTree<IntRing>& tree = eng.tree();
+      const uint64_t base = tree.published_epoch();
+
+      auto project = [&](const ViewTreeSnapshot<IntRing>& snap) {
+        OutMap out;
+        auto pos = ProjectionPositions(vt_out, free);
+        for (ViewTreeEnumerator<IntRing> it = snap.Enumerate(); it.Valid();
+             it.Next()) {
+          Tuple pr;
+          pr.reserve(pos.size());
+          for (uint32_t i : pos) pr.push_back(it.tuple()[i]);
+          out[pr] += it.payload();
+        }
+        for (auto it = out.begin(); it != out.end();) {
+          if (it->second == 0) {
+            it = out.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        return out;
+      };
+
+      std::mutex fail_mu;
+      std::atomic<bool> stop{false};
+      std::atomic<bool> failed{false};
+      auto record_fail = [&](std::string label, std::string detail) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (!failed.exchange(true)) {
+          res.ok = false;
+          res.failures.push_back({std::move(label), 0, std::move(detail)});
+        }
+      };
+
+      std::vector<std::thread> pool;
+      pool.reserve(opts.readers);
+      for (size_t r = 0; r < opts.readers; ++r) {
+        pool.emplace_back([&, r] {
+          const std::string label = "concurrent:reader" + std::to_string(r);
+          uint64_t last = 0;
+          while (!stop.load(std::memory_order_acquire) &&
+                 !failed.load(std::memory_order_relaxed)) {
+            ViewTreeSnapshot<IntRing> snap = tree.Snapshot();
+            const uint64_t e = snap.epoch();
+            if (e < last) {
+              record_fail(label, "epoch went backwards: " +
+                                     std::to_string(e) + " after " +
+                                     std::to_string(last));
+              return;
+            }
+            last = e;
+            if (e < base || e - base >= expected.size()) {
+              record_fail(label,
+                          "observed epoch " + std::to_string(e) +
+                              " matches no applied step (torn publish?)");
+              return;
+            }
+            OutMap got = project(snap);
+            if (got != expected[e - base]) {
+              record_fail(label, "at epoch " + std::to_string(e) + ": " +
+                                     DescribeDiff(got, expected[e - base]));
+              return;
+            }
+          }
+        });
+      }
+
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        std::span<const Delta<IntRing>> deltas(steps[i]->deltas);
+        if (i == opts.inject_torn_step && deltas.size() >= 2) {
+          const size_t m = deltas.size() / 2;
+          eng.ApplyBatch(deltas.subspan(0, m));
+          eng.ApplyBatch(deltas.subspan(m));
+        } else {
+          eng.ApplyBatch(deltas);
+        }
+      }
+      stop.store(true, std::memory_order_release);
+      for (std::thread& t : pool) t.join();
+
+      if (res.ok) {
+        ViewTreeSnapshot<IntRing> snap = tree.Snapshot();
+        if (snap.epoch() != base + steps.size()) {
+          res.ok = false;
+          res.failures.push_back(
+              {"concurrent:final", stream.steps.size(),
+               "published " + std::to_string(snap.epoch() - base) +
+                   " epochs for " + std::to_string(steps.size()) +
+                   " applied steps (torn publish?)"});
+        } else if (project(snap) != expected.back()) {
+          res.ok = false;
+          res.failures.push_back(
+              {"concurrent:final", stream.steps.size(),
+               DescribeDiff(project(snap), expected.back())});
+        }
       }
     }
     if (!res.ok) return res;

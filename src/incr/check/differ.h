@@ -27,7 +27,18 @@
 //      random LSN") must equal a fresh engine fed exactly the surviving
 //      prefix of steps.
 //
-// Everything is deterministic in (query, stream, DifferOptions::seed).
+//   4. Snapshot isolation (opts.readers > 0): the stream is re-run through
+//      a snapshot-enabled view-tree engine while reader threads enumerate
+//      concurrently. Every observed snapshot must be bit-equal to the
+//      oracle ledger at SOME published epoch (exactly one epoch per
+//      applied step), and each reader's observed epochs must advance
+//      monotonically — torn publishes surface as an epoch matching no
+//      ledger entry or as mismatched content.
+//
+// Everything except tier 4's interleavings is deterministic in (query,
+// stream, DifferOptions::seed) — and tier 4's *verdict* is deterministic
+// too: any interleaving of a correct engine passes, any torn publish
+// fails the final-epoch check even if no reader sampled it.
 #ifndef INCR_CHECK_DIFFER_H_
 #define INCR_CHECK_DIFFER_H_
 
@@ -76,6 +87,17 @@ struct DifferOptions {
   uint64_t seed = 0;
   /// Include the built-in variant set (BuiltinVariants).
   bool builtin = true;
+  /// Reader threads for the snapshot-isolation pass (tier 4); 0 skips the
+  /// pass. Readers spin on Snapshot()+enumerate while the maintainer
+  /// re-applies the stream one ApplyBatch (= one published epoch) per
+  /// step, with opts.threads maintenance threads.
+  size_t readers = 0;
+  /// Bug-injection hook for the property tests: the step at this index
+  /// (when it has >= 2 deltas) is deliberately torn into two ApplyBatch
+  /// calls — two published epochs where the ledger expects one. A correct
+  /// atomic-publication implementation cannot produce that history, so
+  /// the snapshot-isolation pass must fail. SIZE_MAX = off.
+  size_t inject_torn_step = SIZE_MAX;
   /// Extra variant factories, invoked with the current (query, stream) on
   /// every run — factories rather than prebuilt variants so the shrinker
   /// can rebuild them as it mutates the pair. The property tests inject

@@ -11,7 +11,11 @@
 //   * O(|D|) bulk Rebuild() from loaded base relations (preprocessing);
 //   * constant-delay enumeration of the factorized output, with optional
 //     bindings (used for CQAP access requests (§4.3) and for delta
-//     enumeration in the eager-list strategy).
+//     enumeration in the eager-list strategy);
+//   * optional snapshot isolation (EnableSnapshots): one maintainer thread
+//     keeps applying batches while any number of reader threads enumerate
+//     immutable epoch-tagged versions via Snapshot() — see the
+//     "Snapshot isolation" section below and DESIGN.md.
 //
 // Enumeration correctness relies on non-zero view payloads implying joining
 // subtrees below, which holds for rings without zero divisors (Z, reals,
@@ -21,11 +25,14 @@
 #define INCR_CORE_VIEW_TREE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -38,6 +45,7 @@
 #include "incr/ring/ring.h"
 #include "incr/store/serde.h"
 #include "incr/util/check.h"
+#include "incr/util/epoch.h"
 #include "incr/util/hash.h"
 #include "incr/util/status.h"
 #include "incr/util/thread_pool.h"
@@ -52,6 +60,12 @@ struct ViewTreeMetricHandles {
   obs::Counter* batch_deltas;  // merged deltas entering ApplyBatch
   obs::Histogram* shard_delta_tuples;    // per-shard W-delta bucket sizes
   obs::Histogram* shard_imbalance_x100;  // 100 * max_bucket / mean_bucket
+  obs::Counter* snapshot_publishes;  // epoch bumps (snapshot mode)
+  obs::Counter* snapshot_recycles;   // retired versions caught up by replay
+  obs::Counter* snapshot_clones;     // full deep copies of the head state
+  obs::Counter* snapshot_replays;    // logged batches replayed for catch-up
+  obs::Gauge* snapshot_versions;     // retained published versions
+  obs::Gauge* snapshot_bytes;        // sampled bytes across retained versions
 };
 inline const ViewTreeMetricHandles& ViewTreeMetrics() {
   static const ViewTreeMetricHandles h = [] {
@@ -62,6 +76,12 @@ inline const ViewTreeMetricHandles& ViewTreeMetrics() {
         r.GetCounter("viewtree.batch_deltas"),
         r.GetHistogram("viewtree.shard_delta_tuples"),
         r.GetHistogram("viewtree.shard_imbalance_x100"),
+        r.GetCounter("viewtree.snapshot_publishes"),
+        r.GetCounter("viewtree.snapshot_recycles"),
+        r.GetCounter("viewtree.snapshot_clones"),
+        r.GetCounter("viewtree.snapshot_replays"),
+        r.GetGauge("viewtree.snapshot_versions"),
+        r.GetGauge("viewtree.snapshot_bytes"),
     };
   }();
   return h;
@@ -70,6 +90,9 @@ inline const ViewTreeMetricHandles& ViewTreeMetrics() {
 
 template <RingType R>
 class ViewTreeEnumerator;
+
+template <RingType R>
+class ViewTreeSnapshot;
 
 /// Binding of some free variables to fixed values (CQAP access requests,
 /// delta enumeration). Unbound output variables are iterated.
@@ -91,13 +114,15 @@ class ViewTree {
   using Lift = std::function<RV(Value)>;
 
   /// Builds an engine over an already-compiled plan.
-  explicit ViewTree(ViewTreePlan plan) : plan_(std::move(plan)) {
+  explicit ViewTree(ViewTreePlan plan)
+      : plan_(std::move(plan)), build_(std::make_unique<TreeState>()) {
     const Query& q = plan_.query();
-    atoms_.reserve(q.atoms().size());
+    TreeState& ts = *build_;
+    ts.atoms.reserve(q.atoms().size());
     for (size_t a = 0; a < q.atoms().size(); ++a) {
-      atoms_.push_back(std::make_unique<Relation<R>>(q.atoms()[a].schema));
+      ts.atoms.push_back(std::make_unique<Relation<R>>(q.atoms()[a].schema));
       for (const Schema& key : plan_.atom_indexes()[a]) {
-        atoms_.back()->AddIndex(key);
+        ts.atoms.back()->AddIndex(key);
       }
     }
     const auto& nodes = plan_.nodes();
@@ -106,12 +131,12 @@ class ViewTree {
     atom_sharding_.resize(nodes.size());
     child_sharding_.resize(nodes.size());
     for (size_t i = 0; i < nodes.size(); ++i) {
-      w_.push_back(std::make_unique<ShardedRelation<R>>(nodes[i].w_schema,
-                                                        nodes[i].key.size()));
-      w_.back()->AddIndex(nodes[i].key);  // index 0: group by key
-      m_.push_back(std::make_unique<Relation<R>>(nodes[i].key));
+      ts.w.push_back(std::make_unique<ShardedRelation<R>>(nodes[i].w_schema,
+                                                          nodes[i].key.size()));
+      ts.w.back()->AddIndex(nodes[i].key);  // index 0: group by key
+      ts.m.push_back(std::make_unique<Relation<R>>(nodes[i].key));
       for (const Schema& key : plan_.m_indexes()[i]) {
-        m_.back()->AddIndex(key);
+        ts.m.back()->AddIndex(key);
       }
       for (const DeltaProgram& p : nodes[i].atom_programs) {
         atom_sharding_[i].push_back(ComputeSharding(p, nodes[i].key.size()));
@@ -160,11 +185,17 @@ class ViewTree {
       pool_ = std::make_unique<ThreadPool>(threads);
       shards_ = shards == 0 ? DefaultDeltaShards() : shards;
     }
-    for (auto& w : w_) w->Reshard(shards_);
+    for (auto& w : build_->w) w->Reshard(shards_);
     auto& reg = obs::MetricsRegistry::Global();
     reg.GetGauge("viewtree.threads")
         ->Set(static_cast<int64_t>(pool_ ? pool_->num_threads() : 1));
     reg.GetGauge("viewtree.shards")->Set(static_cast<int64_t>(shards_));
+    if (snap_ != nullptr) {
+      // The resharded W layout is unreachable by batch replay, so retired
+      // versions with the old layout must be cloned away, not recycled.
+      snap_->log.clear();
+      PublishVersion();
+    }
   }
 
   /// The pool driving parallel batches; nullptr in sequential mode.
@@ -176,15 +207,22 @@ class ViewTree {
   void SetLifting(Var v, Lift fn) {
     int n = plan_.vo().NodeOf(v);
     INCR_CHECK(n >= 0);
-    INCR_CHECK(m_[static_cast<size_t>(n)]->empty());
+    INCR_CHECK(build_->m[static_cast<size_t>(n)]->empty());
     lifts_[static_cast<size_t>(n)] = std::move(fn);
   }
 
   /// Applies a single-tuple delta to atom `atom_id` and propagates it.
+  /// In snapshot mode this is a one-delta batch: it publishes one epoch.
   void UpdateAtom(size_t atom_id, const Tuple& t, const RV& d) {
     if (R::IsZero(d)) return;
+    if (snap_ != nullptr) {
+      DeltaBatch<R> one(build_->atoms.size());
+      one.Add(atom_id, t, d);
+      ApplyBatch(one);
+      return;
+    }
     if (obs::Enabled()) detail::ViewTreeMetrics().updates->Inc();
-    atoms_[atom_id]->Apply(t, d);
+    build_->atoms[atom_id]->Apply(t, d);
     int node = plan_.atom_node()[atom_id];
     const PlanNode& pn = plan_.nodes()[static_cast<size_t>(node)];
     for (size_t k = 0; k < pn.atoms.size(); ++k) {
@@ -198,8 +236,23 @@ class ViewTree {
 
   /// Applies a delta to every atom with relation name `rel` (self-joins get
   /// one sequential delta per occurrence, which realizes the product rule
-  /// of Eq. (2)).
+  /// of Eq. (2)). In snapshot mode the occurrences form one batch, so the
+  /// whole named update publishes a single epoch.
   void Update(const std::string& rel, const Tuple& t, const RV& d) {
+    if (snap_ != nullptr) {
+      if (R::IsZero(d)) return;
+      DeltaBatch<R> merged(build_->atoms.size());
+      bool found = false;
+      for (size_t a = 0; a < query().atoms().size(); ++a) {
+        if (query().atoms()[a].relation == rel) {
+          merged.Add(a, t, d);
+          found = true;
+        }
+      }
+      INCR_CHECK(found);
+      ApplyBatch(merged);
+      return;
+    }
     bool found = false;
     for (size_t a = 0; a < query().atoms().size(); ++a) {
       if (query().atoms()[a].relation == rel) {
@@ -232,7 +285,7 @@ class ViewTree {
       ApplyBatchPerTuple(batch);
       return;
     }
-    DeltaBatch<R> merged(atoms_.size());
+    DeltaBatch<R> merged(build_->atoms.size());
     merged.AddAll(batch);
     ApplyBatch(merged);
   }
@@ -240,8 +293,21 @@ class ViewTree {
   /// Same, over an already-merged batch. With SetThreads(>1) this runs the
   /// shard-parallel path; results are ring-identical to the sequential path
   /// and invariant under the thread count (see ProcessNodeBatchParallel).
+  /// In snapshot mode the whole batch becomes visible to readers at once:
+  /// it is applied to the off-side build state, then published as one
+  /// atomic epoch bump — no reader ever sees a half-propagated batch.
   void ApplyBatch(const DeltaBatch<R>& batch) {
-    if (batch.empty()) return;
+    if (batch.empty()) {
+      // Deltas that merged to zero still publish in snapshot mode: the
+      // contract is one epoch per ApplyBatch call, so concurrent
+      // verifiers can map published epochs to applied batches 1:1. The
+      // no-op version costs one publish (recycled like any other).
+      if (snap_ != nullptr) {
+        snap_->log.emplace_back(snap_->epochs.published() + 1, batch);
+        PublishVersion();
+      }
+      return;
+    }
     const bool obs_on = obs::Enabled();
     obs::TraceSpan span("viewtree.apply_batch");
     span.AddArg("deltas", static_cast<uint64_t>(batch.size()));
@@ -249,25 +315,62 @@ class ViewTree {
       detail::ViewTreeMetrics().batches->Inc();
       detail::ViewTreeMetrics().batch_deltas->Add(batch.size());
     }
-    // Pending per-node delta relations over the node's key schema, handed
-    // from each node to its parent (or folded into M at the roots).
-    std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
-    const auto& pre = plan_.vo().preorder();
-    for (size_t k = pre.size(); k-- > 0;) {
-      const int node = pre[k];
-      obs::TraceSpan node_span("viewtree.node");
-      node_span.AddArg("node", static_cast<uint64_t>(node));
-      const uint64_t t0 = obs_on ? obs::NowNs() : 0;
-      if (pool_ == nullptr) {
-        ProcessNodeBatch(node, batch, &pending);
-      } else {
-        ProcessNodeBatchParallel(node, batch, &pending);
-      }
-      if (obs_on) {
-        node_stats_[static_cast<size_t>(node)].apply_ns += obs::NowNs() - t0;
-      }
+    ApplyBatchTo(batch);
+    if (snap_ != nullptr) {
+      snap_->log.emplace_back(snap_->epochs.published() + 1, batch);
+      PublishVersion();
     }
   }
+
+  // --------------------------------------------------------------------
+  // Snapshot isolation
+  //
+  // Threading contract: ONE maintainer thread calls the mutating API
+  // (Update/ApplyBatch/Rebuild/LoadState/SetThreads/...); any number of
+  // reader threads call Snapshot() and enumerate the returned handles.
+  // Mutations build the next version on a private build state and publish
+  // it with a single atomic epoch bump; readers pin an epoch (RAII
+  // ReadGuard inside the handle) and the maintainer reclaims a retired
+  // version only once no reader can still reach it. Retired versions are
+  // recycled by replaying the batches they missed (the same delta
+  // machinery as live maintenance), so steady-state publishing costs one
+  // batch application — not one deep copy — per epoch.
+
+  /// Switches the tree into snapshot mode and publishes the current state
+  /// as the first epoch. `max_retained` caps the retained published
+  /// versions (clamped to >= 2: the head plus at least one retirable
+  /// version); when every retained version is still pinned by readers the
+  /// maintainer WAITS in ApplyBatch until one is released. Memory cost is
+  /// up to max_retained + 1 copies of the tree state (the +1 is the build
+  /// state). Calling it again only adjusts `max_retained`.
+  void EnableSnapshots(size_t max_retained = 3) {
+    if (max_retained < 2) max_retained = 2;
+    if (snap_ != nullptr) {
+      snap_->max_retained = max_retained;
+      return;
+    }
+    snap_ = std::make_unique<SnapshotCtl>();
+    snap_->max_retained = max_retained;
+    PublishVersion();
+  }
+
+  bool snapshots_enabled() const { return snap_ != nullptr; }
+
+  /// The most recently published epoch (0 when snapshots are disabled).
+  uint64_t published_epoch() const {
+    return snap_ == nullptr ? 0 : snap_->epochs.published();
+  }
+
+  /// Currently retained published versions (diagnostics; 0 when disabled).
+  size_t RetainedVersions() const {
+    return snap_ == nullptr ? 0 : snap_->versions.size();
+  }
+
+  /// Pins the current epoch and returns an immutable handle onto it.
+  /// Callable from any thread while the maintainer keeps writing; requires
+  /// EnableSnapshots(). The tree must not be moved or destroyed while
+  /// handles are live.
+  ViewTreeSnapshot<R> Snapshot() const;
 
   /// Delta enumeration (paper §1, footnote 2): applies the update and
   /// reports the change to the *output*: sink(tuple, old_payload,
@@ -309,20 +412,29 @@ class ViewTree {
   }
 
   /// Loads a tuple into an atom's base relation without propagation; pair
-  /// with Rebuild() for O(|D|)-style bulk preprocessing.
+  /// with Rebuild() for O(|D|)-style bulk preprocessing. Not published to
+  /// snapshot readers until the next publish (normally the Rebuild()).
   void LoadAtom(size_t atom_id, const Tuple& t, const RV& d) {
-    atoms_[atom_id]->Apply(t, d);
+    build_->atoms[atom_id]->Apply(t, d);
+    // Unlogged mutation: retired versions can no longer be caught up by
+    // batch replay, so invalidate the recycle log.
+    if (snap_ != nullptr) snap_->log.clear();
   }
 
-  /// Rebuilds every view bottom-up from the base relations.
+  /// Rebuilds every view bottom-up from the base relations. In snapshot
+  /// mode the rebuilt state is published as a fresh epoch.
   void Rebuild() {
     obs::TraceSpan span("viewtree.rebuild");
-    for (auto& w : w_) w->Clear();
-    for (auto& m : m_) m->Clear();
+    for (auto& w : build_->w) w->Clear();
+    for (auto& m : build_->m) m->Clear();
     // Children before parents: reverse preorder visits leaves first.
     const auto& pre = plan_.vo().preorder();
     for (size_t k = pre.size(); k-- > 0;) {
       BuildNode(pre[k]);
+    }
+    if (snap_ != nullptr) {
+      snap_->log.clear();  // bulk rebuild is not reachable by batch replay
+      PublishVersion();
     }
   }
 
@@ -331,19 +443,19 @@ class ViewTree {
   RV Aggregate() const {
     RV acc = R::One();
     for (int r : plan_.roots()) {
-      acc = R::Mul(acc, m_[static_cast<size_t>(r)]->Payload(Tuple{}));
+      acc = R::Mul(acc, build_->m[static_cast<size_t>(r)]->Payload(Tuple{}));
     }
     return acc;
   }
 
   const Relation<R>& AtomRelation(size_t atom_id) const {
-    return *atoms_[atom_id];
+    return *build_->atoms[atom_id];
   }
   const ShardedRelation<R>& NodeW(int node) const {
-    return *w_[static_cast<size_t>(node)];
+    return *build_->w[static_cast<size_t>(node)];
   }
   const Relation<R>& NodeM(int node) const {
-    return *m_[static_cast<size_t>(node)];
+    return *build_->m[static_cast<size_t>(node)];
   }
 
   /// The output schema: free variables in enumeration (preorder) order.
@@ -358,7 +470,7 @@ class ViewTree {
   /// Payload Q(t) of an output tuple over OutputSchema(): the product, over
   /// free nodes, of the anchored atoms' payloads and the bound children's
   /// marginalizations, times the M of fully-bound root trees.
-  RV OutputPayload(const Tuple& t) const;
+  RV OutputPayload(const Tuple& t) const { return OutputPayload(*build_, t); }
 
   /// Per-node maintenance statistics, accumulated while obs::Enabled().
   /// All counts are plain integers written only by the coordinating thread
@@ -396,8 +508,8 @@ class ViewTree {
       out += ", \"parent\": " + std::to_string(pn.parent);
       out += ", \"free\": " + std::string(pn.free ? "true" : "false");
       out += ", \"key_arity\": " + std::to_string(pn.key.size());
-      out += ", \"w_size\": " + std::to_string(w_[i]->size());
-      out += ", \"m_size\": " + std::to_string(m_[i]->size());
+      out += ", \"w_size\": " + std::to_string(build_->w[i]->size());
+      out += ", \"m_size\": " + std::to_string(build_->m[i]->size());
       out += ", \"batch_calls\": " + std::to_string(no.batch_calls);
       out += ", \"single_deltas\": " + std::to_string(no.single_deltas);
       out += ", \"tuples_in\": " + std::to_string(no.tuples_in);
@@ -415,12 +527,15 @@ class ViewTree {
   /// round-trip is bit-identical even for float rings, where Rebuild()'s
   /// summation order would differ from the incrementally-maintained values.
   void DumpState(store::ByteWriter& w) const {
-    w.PutU32(static_cast<uint32_t>(atoms_.size()));
-    for (const auto& atom : atoms_) store::WriteRelation(w, *atom);
+    // In snapshot mode the build state is always caught up to the published
+    // head between maintainer operations, so (on the maintainer thread)
+    // this serializes exactly the published epoch, never a mid-build one.
+    w.PutU32(static_cast<uint32_t>(build_->atoms.size()));
+    for (const auto& atom : build_->atoms) store::WriteRelation(w, *atom);
     w.PutU32(static_cast<uint32_t>(plan_.nodes().size()));
     for (size_t i = 0; i < plan_.nodes().size(); ++i) {
-      store::WriteShardedRelation(w, *w_[i]);
-      store::WriteRelation(w, *m_[i]);
+      store::WriteShardedRelation(w, *build_->w[i]);
+      store::WriteRelation(w, *build_->m[i]);
     }
   }
 
@@ -429,10 +544,10 @@ class ViewTree {
   /// Existing contents are cleared; loaded entries are fresh inserts, so
   /// payloads round-trip byte-for-byte.
   Status LoadState(store::ByteReader& r) {
-    if (r.GetU32() != atoms_.size() || !r.ok()) {
+    if (r.GetU32() != build_->atoms.size() || !r.ok()) {
       return Status::InvalidArgument("snapshot atom count mismatch");
     }
-    for (auto& atom : atoms_) {
+    for (auto& atom : build_->atoms) {
       Status st = store::ReadRelationInto(r, atom.get());
       if (!st.ok()) return st;
     }
@@ -440,19 +555,192 @@ class ViewTree {
       return Status::InvalidArgument("snapshot node count mismatch");
     }
     for (size_t i = 0; i < plan_.nodes().size(); ++i) {
-      Status st = store::ReadShardedRelationInto(r, w_[i].get());
-      if (st.ok()) st = store::ReadRelationInto(r, m_[i].get());
+      Status st = store::ReadShardedRelationInto(r, build_->w[i].get());
+      if (st.ok()) st = store::ReadRelationInto(r, build_->m[i].get());
       if (!st.ok()) return st;
+    }
+    if (snap_ != nullptr) {
+      snap_->log.clear();  // loaded state is not reachable by batch replay
+      PublishVersion();
     }
     return Status::Ok();
   }
 
   friend class ViewTreeEnumerator<R>;
+  friend class ViewTreeSnapshot<R>;
 
  private:
+  /// One complete version of the tree's dynamic state: every atom base
+  /// relation plus every node's W and M view, tagged with the epoch it
+  /// represents. Published TreeStates are immutable; only the (private)
+  /// build state is ever mutated. Heap-allocated so published pointers
+  /// stay stable even if the owning ViewTree is moved.
+  struct TreeState {
+    std::vector<std::unique_ptr<Relation<R>>> atoms;
+    std::vector<std::unique_ptr<ShardedRelation<R>>> w;
+    std::vector<std::unique_ptr<Relation<R>>> m;
+    uint64_t epoch = 0;
+  };
+
+  /// All snapshot-mode bookkeeping (null in exclusive mode). `versions`
+  /// holds the retained published states, oldest first; its back is the
+  /// head readers resolve via the atomic pointer. `log` holds the batches
+  /// published since the oldest retained version, keyed by the epoch each
+  /// produced, so a retired version can be recycled by replay.
+  struct SnapshotCtl {
+    epoch::Manager epochs;
+    std::atomic<TreeState*> head{nullptr};
+    std::deque<std::unique_ptr<TreeState>> versions;
+    std::deque<std::pair<uint64_t, DeltaBatch<R>>> log;
+    size_t max_retained = 3;
+  };
+
+  static size_t StateBytes(const TreeState& ts) {
+    size_t n = 0;
+    for (const auto& a : ts.atoms) n += a->MemoryBytes();
+    for (const auto& w : ts.w) n += w->MemoryBytes();
+    for (const auto& m : ts.m) n += m->MemoryBytes();
+    return n;
+  }
+
+  std::unique_ptr<TreeState> CloneState(const TreeState& src) const {
+    auto ts = std::make_unique<TreeState>();
+    ts->atoms.reserve(src.atoms.size());
+    for (const auto& a : src.atoms) {
+      ts->atoms.push_back(std::make_unique<Relation<R>>(*a));
+    }
+    ts->w.reserve(src.w.size());
+    for (const auto& w : src.w) {
+      ts->w.push_back(std::make_unique<ShardedRelation<R>>(*w));
+    }
+    ts->m.reserve(src.m.size());
+    for (const auto& m : src.m) {
+      ts->m.push_back(std::make_unique<Relation<R>>(*m));
+    }
+    ts->epoch = src.epoch;
+    return ts;
+  }
+
+  /// Moves the build state into `versions` as the new head, bumps the
+  /// published epoch (the single atomic readers synchronize on), then
+  /// refills the build state via AcquireBuild.
+  void PublishVersion() {
+    SnapshotCtl& s = *snap_;
+    const uint64_t e = s.epochs.published() + 1;
+    build_->epoch = e;
+    s.versions.push_back(std::move(build_));
+    // Order matters: the head pointer must be readable before the epoch it
+    // carries is announced (readers load published, then head — see
+    // util/epoch.h for why this pairing is race-free).
+    s.head.store(s.versions.back().get(), std::memory_order_release);
+    s.epochs.Publish(e);
+    AcquireBuild();
+    if (obs::Enabled()) {
+      const auto& m = detail::ViewTreeMetrics();
+      m.snapshot_publishes->Inc();
+      m.snapshot_versions->Set(static_cast<int64_t>(s.versions.size()));
+      if ((e & 63) == 0) {  // StateBytes walks every index; sample it
+        size_t bytes = 0;
+        for (const auto& v : s.versions) bytes += StateBytes(*v);
+        m.snapshot_bytes->Set(static_cast<int64_t>(bytes));
+      }
+    }
+  }
+
+  /// Refills `build_` with a state equal to the published head: preferably
+  /// a reclaimed retired version caught up by replaying the logged batches
+  /// it missed (identical op sequence => bit-identical state), else a deep
+  /// copy. Blocks (yield-spin) while the retention cap is reached and
+  /// every retirable version is still pinned by a reader.
+  void AcquireBuild() {
+    SnapshotCtl& s = *snap_;
+    std::unique_ptr<TreeState> candidate;
+    for (;;) {
+      const uint64_t min_active = s.epochs.MinActive();
+      while (s.versions.size() > 1 && s.versions.front()->epoch < min_active) {
+        candidate = std::move(s.versions.front());  // newest retiree survives
+        s.versions.pop_front();
+      }
+      if (candidate != nullptr || s.versions.size() < s.max_retained) break;
+      std::this_thread::yield();
+    }
+    const uint64_t head_epoch = s.versions.back()->epoch;
+    if (candidate != nullptr) {
+      // Replay is only sound if the log covers (candidate, head] without
+      // gaps; unlogged mutations (Rebuild, LoadState, SetThreads) clear
+      // the log, forcing the clone path below.
+      const bool continuous = !s.log.empty() &&
+                              s.log.front().first <= candidate->epoch + 1 &&
+                              s.log.back().first == head_epoch;
+      if (continuous) {
+        build_ = std::move(candidate);
+        stats_muted_ = true;  // replay must not double-count NodeObs
+        size_t replayed = 0;
+        for (const auto& [e, b] : s.log) {
+          if (e <= build_->epoch) continue;
+          ApplyBatchTo(b);
+          ++replayed;
+        }
+        stats_muted_ = false;
+        build_->epoch = head_epoch;
+        if (obs::Enabled()) {
+          const auto& m = detail::ViewTreeMetrics();
+          m.snapshot_recycles->Inc();
+          m.snapshot_replays->Add(replayed);
+        }
+      } else {
+        candidate.reset();
+      }
+    }
+    if (build_ == nullptr) {
+      build_ = CloneState(*s.versions.back());
+      if (obs::Enabled()) detail::ViewTreeMetrics().snapshot_clones->Inc();
+    }
+    // Entries at or below the oldest retained epoch can never be needed.
+    while (!s.log.empty() &&
+           s.log.front().first <= s.versions.front()->epoch) {
+      s.log.pop_front();
+    }
+  }
+
+  /// The bare node-at-a-time batch loop against the build state, shared by
+  /// the public ApplyBatch (which adds obs + publish) and catch-up replay
+  /// (which must stay un-instrumented and must not publish).
+  void ApplyBatchTo(const DeltaBatch<R>& batch) {
+    const bool obs_on = obs::Enabled() && !stats_muted_;
+    // Pending per-node delta relations over the node's key schema, handed
+    // from each node to its parent (or folded into M at the roots).
+    std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
+    const auto& pre = plan_.vo().preorder();
+    for (size_t k = pre.size(); k-- > 0;) {
+      const int node = pre[k];
+      const uint64_t t0 = obs_on ? obs::NowNs() : 0;
+      if (stats_muted_) {
+        if (pool_ == nullptr) {
+          ProcessNodeBatch(node, batch, &pending);
+        } else {
+          ProcessNodeBatchParallel(node, batch, &pending);
+        }
+        continue;
+      }
+      obs::TraceSpan node_span("viewtree.node");
+      node_span.AddArg("node", static_cast<uint64_t>(node));
+      if (pool_ == nullptr) {
+        ProcessNodeBatch(node, batch, &pending);
+      } else {
+        ProcessNodeBatchParallel(node, batch, &pending);
+      }
+      if (obs_on) {
+        node_stats_[static_cast<size_t>(node)].apply_ns += obs::NowNs() - t0;
+      }
+    }
+  }
+
+  RV OutputPayload(const TreeState& ts, const Tuple& t) const;
+
   const Relation<R>& FactorStorage(const FactorRef& f) const {
-    if (f.kind == FactorRef::kAtom) return *atoms_[f.index];
-    return *m_[f.index];
+    if (f.kind == FactorRef::kAtom) return *build_->atoms[f.index];
+    return *build_->m[f.index];
   }
 
   /// Runs `prog` for a single source delta, emitting W-delta tuples.
@@ -528,8 +816,8 @@ class ViewTree {
     }
     if (w_deltas.empty()) return;
 
-    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
-    Relation<R>& m = *m_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *build_->w[static_cast<size_t>(node)];
+    Relation<R>& m = *build_->m[static_cast<size_t>(node)];
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     const DeltaProgram* up = UpProgram(node);
 
@@ -581,7 +869,7 @@ class ViewTree {
       has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
     }
     if (!has_work) return;
-    const bool obs_on = obs::Enabled();
+    const bool obs_on = obs::Enabled() && !stats_muted_;
     NodeObs& no = node_stats_[static_cast<size_t>(node)];
     if (obs_on) ++no.batch_calls;
 
@@ -590,7 +878,7 @@ class ViewTree {
       const auto& d = batch.of(pn.atoms[i]);
       if (d.empty()) continue;
       if (obs_on) no.tuples_in += d.size();
-      atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]));
+      build_->atoms[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]));
       for (const auto& e : d) {
         RunProgram(pn.atom_programs[i], e.key, e.value, pn.w_schema,
                    &w_deltas);
@@ -600,7 +888,7 @@ class ViewTree {
       auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
       if (parked == nullptr) continue;
       if (obs_on) no.tuples_in += parked->size();
-      Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
+      Relation<R>& cm = *build_->m[static_cast<size_t>(pn.children[i])];
       for (const auto& e : *parked) cm.Apply(e.key, e.value);
       for (const auto& e : *parked) {
         RunProgram(pn.child_programs[i], e.key, e.value, pn.w_schema,
@@ -614,7 +902,7 @@ class ViewTree {
     // Fold W deltas into W_X and group them into the node's M-delta. W is
     // never probed by delta programs, so its application can safely happen
     // after all sources ran.
-    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *build_->w[static_cast<size_t>(node)];
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     auto m_delta = std::make_unique<Relation<R>>(pn.key);
     m_delta->Reserve(w_deltas.size());
@@ -625,7 +913,7 @@ class ViewTree {
     }
     if (m_delta->empty()) return;
     if (pn.parent == -1) {
-      Relation<R>& m = *m_[static_cast<size_t>(node)];
+      Relation<R>& m = *build_->m[static_cast<size_t>(node)];
       for (const auto& e : *m_delta) m.Apply(e.key, e.value);
     } else {
       (*pending)[static_cast<size_t>(node)] = std::move(m_delta);
@@ -690,7 +978,7 @@ class ViewTree {
       has_work |= (*pending)[static_cast<size_t>(c)] != nullptr;
     }
     if (!has_work) return;
-    const bool obs_on = obs::Enabled();
+    const bool obs_on = obs::Enabled() && !stats_muted_;
     NodeObs& no = node_stats_[static_cast<size_t>(node)];
     if (obs_on) ++no.batch_calls;
 
@@ -747,7 +1035,7 @@ class ViewTree {
       const auto& d = batch.of(pn.atoms[i]);
       if (d.empty()) continue;
       if (obs_on) no.tuples_in += d.size();
-      atoms_[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]), pool);
+      build_->atoms[pn.atoms[i]]->ApplyBatch(batch.entries(pn.atoms[i]), pool);
       run_source(pn.atom_programs[i],
                  atom_sharding_[static_cast<size_t>(node)][i],
                  batch.entries(pn.atoms[i]));
@@ -756,7 +1044,7 @@ class ViewTree {
       auto& parked = (*pending)[static_cast<size_t>(pn.children[i])];
       if (parked == nullptr) continue;
       if (obs_on) no.tuples_in += parked->size();
-      Relation<R>& cm = *m_[static_cast<size_t>(pn.children[i])];
+      Relation<R>& cm = *build_->m[static_cast<size_t>(pn.children[i])];
       std::span<const typename Relation<R>::Entry> entries(parked->begin(),
                                                            parked->size());
       cm.ApplyBatch(entries, pool);
@@ -790,7 +1078,7 @@ class ViewTree {
     }
     if (!any) return;
 
-    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *build_->w[static_cast<size_t>(node)];
     INCR_DCHECK(w.num_shards() == S);
     const Lift& lift = lifts_[static_cast<size_t>(node)];
     std::vector<Relation<R>> m_shards;
@@ -810,7 +1098,7 @@ class ViewTree {
     for (const Relation<R>& md : m_shards) total += md.size();
     if (total == 0) return;
     if (pn.parent == -1) {
-      Relation<R>& m = *m_[static_cast<size_t>(node)];
+      Relation<R>& m = *build_->m[static_cast<size_t>(node)];
       for (const Relation<R>& md : m_shards) {
         for (const auto& e : md) m.Apply(e.key, e.value);
       }
@@ -834,14 +1122,14 @@ class ViewTree {
     const Relation<R>* scan = nullptr;
     if (!pn.atoms.empty()) {
       prog = &pn.atom_programs[0];
-      scan = atoms_[pn.atoms[0]].get();
+      scan = build_->atoms[pn.atoms[0]].get();
     } else {
       INCR_CHECK(!pn.children.empty());
       prog = &pn.child_programs[0];
-      scan = m_[static_cast<size_t>(pn.children[0])].get();
+      scan = build_->m[static_cast<size_t>(pn.children[0])].get();
     }
-    ShardedRelation<R>& w = *w_[static_cast<size_t>(node)];
-    Relation<R>& m = *m_[static_cast<size_t>(node)];
+    ShardedRelation<R>& w = *build_->w[static_cast<size_t>(node)];
+    Relation<R>& m = *build_->m[static_cast<size_t>(node)];
     // Heuristic pre-sizing (|W_X| ~ |scan| when probes are keyed) to
     // avoid rehash storms during the bulk build.
     w.Reserve(scan->size());
@@ -860,9 +1148,10 @@ class ViewTree {
   }
 
   ViewTreePlan plan_;
-  std::vector<std::unique_ptr<Relation<R>>> atoms_;
-  std::vector<std::unique_ptr<ShardedRelation<R>>> w_;
-  std::vector<std::unique_ptr<Relation<R>>> m_;
+  /// The mutable state every maintenance path acts on. In exclusive mode
+  /// it is the one and only state; in snapshot mode it is the private
+  /// build copy, caught up to the published head between operations.
+  std::unique_ptr<TreeState> build_;
   std::vector<Lift> lifts_;
   /// Per node, per anchored atom / per child: how that source partitions.
   std::vector<std::vector<SourceSharding>> atom_sharding_;
@@ -870,7 +1159,64 @@ class ViewTree {
   std::vector<NodeObs> node_stats_;
   std::unique_ptr<ThreadPool> pool_;  // null: sequential batch path
   size_t shards_ = 1;
+  std::unique_ptr<SnapshotCtl> snap_;  // null: exclusive (non-snapshot) mode
+  bool stats_muted_ = false;  // true only during catch-up replay
 };
+
+// ----------------------------------------------------------------------
+// Snapshots
+
+/// The SnapshotHandle of DESIGN.md: an immutable, constant-delay-enumerable
+/// view of the whole tree at one published epoch. Holding one pins its
+/// epoch, so the maintainer keeps the underlying version alive until the
+/// handle is destroyed — destroy handles promptly (or raise
+/// max_retained_epochs) to keep the writer from waiting on reclamation.
+/// Cheap to take (one slot CAS plus two atomic loads) and movable; safe to
+/// take and use from any thread while a single maintainer keeps writing.
+template <RingType R>
+class ViewTreeSnapshot {
+ public:
+  using RV = typename R::Value;
+
+  /// The epoch whose state this handle observes. At least the pinned
+  /// epoch; monotonically non-decreasing across handles taken by one
+  /// thread (the head only ever advances).
+  uint64_t epoch() const { return state_->epoch; }
+
+  const ViewTree<R>& tree() const { return *tree_; }
+
+  /// Product over root nodes of M_root(()) at this epoch.
+  RV Aggregate() const;
+
+  /// Q(t) of an output tuple over the tree's OutputSchema() at this epoch.
+  RV OutputPayload(const Tuple& t) const;
+
+  /// Constant-delay enumerator over this epoch's output, with optional
+  /// bindings (same contract as enumerating the live tree).
+  ViewTreeEnumerator<R> Enumerate(Binding binding = Binding{}) const;
+
+ private:
+  friend class ViewTree<R>;
+
+  ViewTreeSnapshot(const ViewTree<R>* tree, epoch::ReadGuard guard,
+                   const typename ViewTree<R>::TreeState* state)
+      : tree_(tree), guard_(std::move(guard)), state_(state) {}
+
+  const ViewTree<R>* tree_;
+  epoch::ReadGuard guard_;
+  const typename ViewTree<R>::TreeState* state_;
+};
+
+template <RingType R>
+ViewTreeSnapshot<R> ViewTree<R>::Snapshot() const {
+  INCR_CHECK(snap_ != nullptr);
+  // Pin first, then resolve the head: the pinned epoch lower-bounds the
+  // head's epoch, so the resolved version cannot be reclaimed while the
+  // guard is held (see util/epoch.h).
+  epoch::ReadGuard guard(&snap_->epochs);
+  const TreeState* state = snap_->head.load(std::memory_order_acquire);
+  return ViewTreeSnapshot<R>(this, std::move(guard), state);
+}
 
 // ----------------------------------------------------------------------
 // Enumeration
@@ -887,10 +1233,20 @@ class ViewTreeEnumerator {
   using RV = typename R::Value;
 
   explicit ViewTreeEnumerator(const ViewTree<R>& tree)
-      : ViewTreeEnumerator(tree, Binding{}) {}
+      : ViewTreeEnumerator(tree, *tree.build_, Binding{}) {}
 
   ViewTreeEnumerator(const ViewTree<R>& tree, Binding binding)
-      : tree_(&tree) {
+      : ViewTreeEnumerator(tree, *tree.build_, std::move(binding)) {}
+
+ private:
+  friend class ViewTreeSnapshot<R>;
+
+  /// Enumerates one specific version. The public constructors pass the
+  /// live (build) state; ViewTreeSnapshot passes its pinned version.
+  ViewTreeEnumerator(const ViewTree<R>& tree,
+                     const typename ViewTree<R>::TreeState& state,
+                     Binding binding)
+      : tree_(&tree), state_(&state) {
     const auto& plan = tree.plan_;
     INCR_CHECK(plan.CanEnumerate().ok());
     const auto& enum_nodes = plan.enum_nodes();
@@ -923,7 +1279,7 @@ class ViewTreeEnumerator {
     // also make the whole output empty when their aggregate is zero.
     for (int r : plan.roots()) {
       if (!plan.nodes()[static_cast<size_t>(r)].free &&
-          R::IsZero(tree.NodeM(r).Payload(Tuple{}))) {
+          R::IsZero(state.m[static_cast<size_t>(r)]->Payload(Tuple{}))) {
         empty_ = true;
       }
     }
@@ -935,6 +1291,7 @@ class ViewTreeEnumerator {
     FindSolutionFrom(0);
   }
 
+ public:
   bool Valid() const {
     if (empty_) return false;
     if (states_.empty()) return single_empty_;
@@ -971,7 +1328,7 @@ class ViewTreeEnumerator {
   }
 
   /// Q(tuple()): computed from base payloads in O(|Q|).
-  RV payload() const { return tree_->OutputPayload(tuple()); }
+  RV payload() const { return tree_->OutputPayload(*state_, tuple()); }
 
  private:
   struct NodeState {
@@ -1001,7 +1358,7 @@ class ViewTreeEnumerator {
   bool TryFirst(size_t i) {
     NodeState& st = states_[i];
     Tuple key = KeyOf(i);
-    const ShardedRelation<R>& w = tree_->NodeW(st.node);
+    const ShardedRelation<R>& w = *state_->w[static_cast<size_t>(st.node)];
     if (st.bound) {
       Tuple probe = key;
       probe.push_back(st.bound_value);
@@ -1054,6 +1411,7 @@ class ViewTreeEnumerator {
   }
 
   const ViewTree<R>* tree_;
+  const typename ViewTree<R>::TreeState* state_;
   std::vector<NodeState> states_;
   bool valid_ = false;
   bool empty_ = false;
@@ -1061,7 +1419,8 @@ class ViewTreeEnumerator {
 };
 
 template <RingType R>
-typename R::Value ViewTree<R>::OutputPayload(const Tuple& t) const {
+typename R::Value ViewTree<R>::OutputPayload(const TreeState& ts,
+                                             const Tuple& t) const {
   const auto& enum_nodes = plan_.enum_nodes();
   INCR_DCHECK(t.size() == enum_nodes.size());
   RV acc = R::One();
@@ -1082,7 +1441,7 @@ typename R::Value ViewTree<R>::OutputPayload(const Tuple& t) const {
       Tuple probe;
       probe.reserve(s.size());
       for (Var v : s) probe.push_back(value_of(v));
-      acc = R::Mul(acc, atoms_[a]->Payload(probe));
+      acc = R::Mul(acc, ts.atoms[a]->Payload(probe));
     }
     for (int c : pn.children) {
       const PlanNode& child = plan_.nodes()[static_cast<size_t>(c)];
@@ -1090,16 +1449,35 @@ typename R::Value ViewTree<R>::OutputPayload(const Tuple& t) const {
       Tuple probe;
       probe.reserve(child.key.size());
       for (Var v : child.key) probe.push_back(value_of(v));
-      acc = R::Mul(acc, m_[static_cast<size_t>(c)]->Payload(probe));
+      acc = R::Mul(acc, ts.m[static_cast<size_t>(c)]->Payload(probe));
     }
   }
   // Fully bound trees contribute their scalar aggregate.
   for (int r : plan_.roots()) {
     if (!plan_.nodes()[static_cast<size_t>(r)].free) {
-      acc = R::Mul(acc, m_[static_cast<size_t>(r)]->Payload(Tuple{}));
+      acc = R::Mul(acc, ts.m[static_cast<size_t>(r)]->Payload(Tuple{}));
     }
   }
   return acc;
+}
+
+template <RingType R>
+typename R::Value ViewTreeSnapshot<R>::Aggregate() const {
+  RV acc = R::One();
+  for (int r : tree_->plan_.roots()) {
+    acc = R::Mul(acc, state_->m[static_cast<size_t>(r)]->Payload(Tuple{}));
+  }
+  return acc;
+}
+
+template <RingType R>
+typename R::Value ViewTreeSnapshot<R>::OutputPayload(const Tuple& t) const {
+  return tree_->OutputPayload(*state_, t);
+}
+
+template <RingType R>
+ViewTreeEnumerator<R> ViewTreeSnapshot<R>::Enumerate(Binding binding) const {
+  return ViewTreeEnumerator<R>(*tree_, *state_, std::move(binding));
 }
 
 }  // namespace incr

@@ -66,6 +66,15 @@ class DenseMap {
   /// since construction. Feeds the relation rehash counters.
   size_t rehashes() const { return rehashes_; }
 
+  /// Approximate heap footprint in bytes: the dense entry array plus the
+  /// slot table. Out-of-line key/value allocations (e.g. SmallVector spill)
+  /// are not counted; this feeds the snapshot memory gauges, which only
+  /// need the dominant terms.
+  size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(uint32_t);
+  }
+
   /// Returns a pointer to the value for `key`, or nullptr.
   V* Find(const K& key) {
     size_t slot = FindSlot(key);

@@ -87,6 +87,14 @@ class GroupedIndex {
     positions_.clear();
   }
 
+  /// Approximate heap footprint in bytes (group vectors counted by
+  /// capacity; tuple spill allocations are not).
+  size_t MemoryBytes() const {
+    size_t n = groups_.MemoryBytes() + positions_.MemoryBytes();
+    for (const auto& e : groups_) n += e.value.capacity() * sizeof(Tuple);
+    return n;
+  }
+
  private:
   Schema key_schema_;
   SmallVector<uint32_t, 4> key_positions_;

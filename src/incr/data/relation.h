@@ -52,6 +52,26 @@ class Relation {
 
   explicit Relation(Schema schema) : schema_(std::move(schema)) {}
 
+  /// Deep copy, for snapshot versioning: the DenseMap copy preserves the
+  /// exact slot/entry layout (it is a plain member-wise vector copy), and
+  /// indexes are cloned in registration order, so a copy is bit-identical
+  /// to the original under DumpState-style serialization.
+  Relation(const Relation& o) : schema_(o.schema_), data_(o.data_) {
+    indexes_.reserve(o.indexes_.size());
+    for (const auto& idx : o.indexes_) {
+      indexes_.push_back(std::make_unique<GroupedIndex>(*idx));
+    }
+  }
+  Relation& operator=(const Relation& o) {
+    if (this != &o) {
+      Relation copy(o);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  Relation(Relation&&) noexcept = default;
+  Relation& operator=(Relation&&) noexcept = default;
+
   const Schema& schema() const { return schema_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
@@ -189,6 +209,13 @@ class Relation {
   /// Pre-sizes the underlying DenseMap (and nothing else) for `n` total
   /// entries; bulk loaders call this to avoid rehash storms.
   void Reserve(size_t n) { data_.Reserve(n); }
+
+  /// Approximate heap footprint in bytes (map plus all grouped indexes).
+  size_t MemoryBytes() const {
+    size_t n = data_.MemoryBytes();
+    for (const auto& idx : indexes_) n += idx->MemoryBytes();
+    return n;
+  }
 
  private:
   // Returns +1 for a fresh insert, -1 for an erase-to-zero, 0 otherwise.

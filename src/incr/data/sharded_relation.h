@@ -100,6 +100,13 @@ class ShardedRelation {
     for (Relation<R>& s : shards_) s.Clear();
   }
 
+  /// Approximate heap footprint in bytes, summed over shards.
+  size_t MemoryBytes() const {
+    size_t n = 0;
+    for (const Relation<R>& s : shards_) n += s.MemoryBytes();
+    return n;
+  }
+
   /// Pre-sizes every shard for its expected slice of `n` total entries.
   void Reserve(size_t n) {
     size_t per = (n + shards_.size() - 1) / shards_.size();

@@ -190,6 +190,15 @@ class DurableEngine : public IvmEngine<R> {
     return inner_->Enumerate(sink);
   }
 
+  // Snapshot reads pass straight through: the WAL only sees writes, and
+  // the inner engine (via its public facade, so its metrics stay
+  // meaningful) serves the epoch-pinned version. Checkpoint() remains a
+  // maintainer-thread operation; it serializes the published epoch because
+  // the inner tree's build state is caught up between maintainer calls.
+  size_t EnumerateSnapshotImpl(const Sink& sink) override {
+    return inner_->EnumerateSnapshot(sink);
+  }
+
  private:
   DurableEngine(std::unique_ptr<IvmEngine<R>> inner,
                 std::unique_ptr<store::Wal> wal, std::string dir,

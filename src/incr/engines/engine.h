@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -107,6 +108,14 @@ class IvmEngine {
 
   virtual ~IvmEngine() = default;
 
+  // Movable, but the lazily-resolved metric handles (and their once_flag)
+  // deliberately do not transfer: the destination re-resolves them on its
+  // first instrumented call. Engines are only moved during construction,
+  // before any concurrent use, so dropping the caches is safe.
+  IvmEngine() = default;
+  IvmEngine(IvmEngine&&) noexcept {}
+  IvmEngine& operator=(IvmEngine&&) noexcept { return *this; }
+
   virtual const char* name() const = 0;
 
   /// Applies a single-tuple delta to every atom of relation `rel`.
@@ -157,6 +166,25 @@ class IvmEngine {
     return n;
   }
 
+  /// Enumerates a consistent snapshot of the engine's output; returns the
+  /// number of tuples. Engines configured with snapshot_reads serve this
+  /// from an epoch-pinned immutable version, so it is safe to call from
+  /// any number of reader threads while ONE maintainer thread keeps
+  /// applying updates. The default implementation falls back to exclusive
+  /// EnumerateImpl — correct results, but callers must then synchronize
+  /// externally as before. No trace span: this is the hot concurrent read
+  /// path, and the histograms (thread-safe) carry the distribution.
+  size_t EnumerateSnapshot(const Sink& sink) {
+    if (!obs::Enabled()) return EnumerateSnapshotImpl(sink);
+    EnsureObsHandles();
+    const uint64_t t0 = obs::NowNs();
+    size_t n = EnumerateSnapshotImpl(sink);
+    const uint64_t dur = obs::NowNs() - t0;
+    snapshot_enum_ns_->Record(dur);
+    if (n > 0) snapshot_enum_delay_ns_->Record(dur / n);
+    return n;
+  }
+
   /// Applies an options struct: observability override first (so the
   /// remaining configuration is observed or not per the caller's wish),
   /// then parallelism. Engines that understand more fields (shard counts,
@@ -204,30 +232,44 @@ class IvmEngine {
   }
   virtual size_t EnumerateImpl(const Sink& sink) = 0;
 
+  /// Snapshot-read hook. Engines with a real snapshot path (view-tree
+  /// family) override; the default degrades to the exclusive enumeration.
+  virtual size_t EnumerateSnapshotImpl(const Sink& sink) {
+    return EnumerateImpl(sink);
+  }
+
  private:
   /// Lazily resolves the per-engine metric handles ("engine.<name>.*") —
   /// lazy because name() is virtual and unavailable during construction.
-  /// Engines are driven single-threaded, so no synchronization here.
+  /// call_once because EnumerateSnapshot may race with the maintainer
+  /// thread's first instrumented update.
   void EnsureObsHandles() {
-    if (update_ns_ != nullptr) return;
-    auto& r = obs::MetricsRegistry::Global();
-    const std::string prefix = std::string("engine.") + name() + ".";
-    update_ns_ = r.GetHistogram(prefix + "update_ns");
-    batch_ns_ = r.GetHistogram(prefix + "batch_ns");
-    batch_deltas_ = r.GetCounter(prefix + "batch_deltas");
-    enum_ns_ = r.GetHistogram(prefix + "enum_ns");
-    enum_delay_ns_ = r.GetHistogram(prefix + "enum_delay_ns");
-    // Span names live in the engine so TraceSpan's const char* stays valid
-    // for the span's (scope-bound) lifetime.
-    batch_span_name_ = prefix + "apply_batch";
-    enum_span_name_ = prefix + "enumerate";
+    std::call_once(obs_once_, [&] {
+      auto& r = obs::MetricsRegistry::Global();
+      const std::string prefix = std::string("engine.") + name() + ".";
+      update_ns_ = r.GetHistogram(prefix + "update_ns");
+      batch_ns_ = r.GetHistogram(prefix + "batch_ns");
+      batch_deltas_ = r.GetCounter(prefix + "batch_deltas");
+      enum_ns_ = r.GetHistogram(prefix + "enum_ns");
+      enum_delay_ns_ = r.GetHistogram(prefix + "enum_delay_ns");
+      snapshot_enum_ns_ = r.GetHistogram(prefix + "snapshot_enum_ns");
+      snapshot_enum_delay_ns_ =
+          r.GetHistogram(prefix + "snapshot_enum_delay_ns");
+      // Span names live in the engine so TraceSpan's const char* stays
+      // valid for the span's (scope-bound) lifetime.
+      batch_span_name_ = prefix + "apply_batch";
+      enum_span_name_ = prefix + "enumerate";
+    });
   }
 
+  std::once_flag obs_once_;
   obs::Histogram* update_ns_ = nullptr;
   obs::Histogram* batch_ns_ = nullptr;
   obs::Counter* batch_deltas_ = nullptr;
   obs::Histogram* enum_ns_ = nullptr;
   obs::Histogram* enum_delay_ns_ = nullptr;
+  obs::Histogram* snapshot_enum_ns_ = nullptr;
+  obs::Histogram* snapshot_enum_delay_ns_ = nullptr;
   std::string batch_span_name_;
   std::string enum_span_name_;
 };
@@ -256,6 +298,9 @@ class ViewTreeEngine : public IvmEngine<R> {
   void Configure(const EngineOptions& opts) override {
     if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
     tree_.SetThreads(opts.threads, opts.shards);
+    if (opts.snapshot_reads) {
+      tree_.EnableSnapshots(opts.max_retained_epochs);
+    }
   }
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
@@ -279,6 +324,10 @@ class ViewTreeEngine : public IvmEngine<R> {
   }
 
   void ApplyBatchImpl(Batch batch) override {
+    // Skip empty calls BEFORE the tree sees them: in snapshot mode a
+    // non-empty batch publishes exactly one epoch even when its deltas
+    // merge to zero, but an empty call must not publish at all.
+    if (batch.empty()) return;
     tree_.ApplyBatch(MergeNamedBatch(tree_, batch));
   }
 
@@ -286,6 +335,18 @@ class ViewTreeEngine : public IvmEngine<R> {
     if (!tree_.plan().CanEnumerate().ok()) return 0;
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
+  }
+
+  size_t EnumerateSnapshotImpl(const Sink& sink) override {
+    if (!tree_.snapshots_enabled()) return EnumerateImpl(sink);
+    if (!tree_.plan().CanEnumerate().ok()) return 0;
+    ViewTreeSnapshot<R> snap = tree_.Snapshot();
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it = snap.Enumerate(); it.Valid(); it.Next()) {
       if (sink) sink(it.tuple(), it.payload());
       ++n;
     }

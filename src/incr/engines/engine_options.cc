@@ -69,6 +69,15 @@ EngineOptions EngineOptions::FromEnv() {
       opts.group_commit_window_us = static_cast<uint32_t>(v);
     }
   }
+  if (const char* env = std::getenv("INCR_SNAPSHOT_READS")) {
+    opts.snapshot_reads = !EnvFlagOff(env);
+  }
+  if (const char* env = std::getenv("INCR_MAX_RETAINED_EPOCHS")) {
+    if (ParseEnvInt("INCR_MAX_RETAINED_EPOCHS", env, 2,
+                    static_cast<long long>(kMaxRetainedEpochs), &v)) {
+      opts.max_retained_epochs = static_cast<size_t>(v);
+    }
+  }
   return opts;
 }
 

@@ -50,8 +50,23 @@ struct EngineOptions {
   /// current (usually empty) state.
   bool recover_on_open = true;
 
+  /// Snapshot-isolated reads: engines of the view-tree family publish
+  /// every batch as an immutable epoch-tagged version, and
+  /// EnumerateSnapshot serves reader threads from a pinned version while
+  /// ONE maintainer thread keeps writing. Off (the default), reads and
+  /// writes must be externally synchronized as before.
+  bool snapshot_reads = false;
+
+  /// Maximum published versions retained for concurrent readers (snapshot
+  /// mode only; clamped to >= 2). The maintainer waits when every
+  /// retained version is still pinned, so size this to cover the longest
+  /// snapshot a reader holds across publishes. Memory cost is up to
+  /// max_retained_epochs + 1 copies of the view state.
+  size_t max_retained_epochs = 3;
+
   /// Reads the INCR_THREADS / INCR_SHARDS / INCR_OBS / INCR_FSYNC /
-  /// INCR_WAL_BUFFER_BYTES / INCR_GROUP_COMMIT_US environment variables
+  /// INCR_WAL_BUFFER_BYTES / INCR_GROUP_COMMIT_US / INCR_SNAPSHOT_READS /
+  /// INCR_MAX_RETAINED_EPOCHS environment variables
   /// into an options struct — the bridge from the pre-EngineOptions
   /// configuration surface. Unset variables keep the defaults above;
   /// malformed or out-of-range values are ignored with a one-line warning
@@ -66,6 +81,7 @@ struct EngineOptions {
   static constexpr size_t kMaxShards = 1 << 16;
   static constexpr size_t kMaxWalBufferBytes = size_t{1} << 30;  // 1 GiB
   static constexpr uint32_t kMaxGroupCommitUs = 60 * 1000 * 1000;  // 1 min
+  static constexpr size_t kMaxRetainedEpochs = 1 << 20;
 };
 
 }  // namespace incr

@@ -65,6 +65,14 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
   // it (aggregate-only plans return 0).
   const char* name() const override { return "mixed-static-dynamic"; }
 
+  void Configure(const EngineOptions& opts) override {
+    if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
+    tree_.SetThreads(opts.threads, opts.shards);
+    if (opts.snapshot_reads) {
+      tree_.EnableSnapshots(opts.max_retained_epochs);
+    }
+  }
+
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
 
   const ViewTree<R>& tree() const { return tree_; }
@@ -84,6 +92,7 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
   /// under SetThreads). Every named delta must address a dynamic atom only.
   void ApplyBatchImpl(typename IvmEngine<R>::Batch batch) override {
     INCR_CHECK(sealed_);
+    if (batch.empty()) return;  // an empty call must not publish an epoch
     DeltaBatch<R> merged = MergeNamedBatch(tree_, batch);
     for (size_t a = 0; a < merged.num_atoms(); ++a) {
       INCR_CHECK(merged.of(a).empty() || !is_static_[a]);
@@ -95,6 +104,18 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
     if (!tree_.plan().CanEnumerate().ok()) return 0;
     size_t n = 0;
     for (ViewTreeEnumerator<R> it(tree_); it.Valid(); it.Next()) {
+      if (sink) sink(it.tuple(), it.payload());
+      ++n;
+    }
+    return n;
+  }
+
+  size_t EnumerateSnapshotImpl(const Sink& sink) override {
+    if (!tree_.snapshots_enabled()) return EnumerateImpl(sink);
+    if (!tree_.plan().CanEnumerate().ok()) return 0;
+    ViewTreeSnapshot<R> snap = tree_.Snapshot();
+    size_t n = 0;
+    for (ViewTreeEnumerator<R> it = snap.Enumerate(); it.Valid(); it.Next()) {
       if (sink) sink(it.tuple(), it.payload());
       ++n;
     }

@@ -10,6 +10,7 @@
 //   - engines: the IvmEngine facade, the four Fig. 4 strategies, the
 //     cascade / CQAP / insert-only specializations, EngineOptions
 //   - durability: DurableEngine (WAL + checkpoint/recovery)
+//   - concurrency: epoch-based reclamation (snapshot-isolated reads)
 //   - observability: metrics registry and Chrome tracing
 #ifndef INCR_INCR_H_
 #define INCR_INCR_H_
@@ -56,6 +57,9 @@
 // Observability.
 #include "incr/obs/metrics.h"  // IWYU pragma: export
 #include "incr/obs/trace.h"    // IWYU pragma: export
+
+// Concurrency utilities.
+#include "incr/util/epoch.h"  // IWYU pragma: export
 
 // Errors.
 #include "incr/util/status.h"  // IWYU pragma: export

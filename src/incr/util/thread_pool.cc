@@ -85,6 +85,8 @@ void ThreadPool::ParallelFor(size_t n,
     });
     job_fn_ = &fn;
     job_n_ = n;
+    job_error_ = nullptr;
+    job_failed_.store(false, std::memory_order_relaxed);
     next_.store(0, std::memory_order_relaxed);
     pending_.store(n, std::memory_order_relaxed);
     job_submit_ns_.store(obs_on ? obs::NowNs() : 0,
@@ -94,15 +96,19 @@ void ThreadPool::ParallelFor(size_t n,
   wake_cv_.notify_all();
   size_t mine = RunTasks(&fn, n);  // the calling thread participates
   if (obs_on) Metrics().caller_tasks->Add(mine);
+  std::exception_ptr err;
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] {
       return pending_.load(std::memory_order_acquire) == 0;
     });
     job_fn_ = nullptr;
+    err = job_error_;
+    job_error_ = nullptr;
   }
   idle_cv_.notify_all();
   if (obs_on) Metrics().job_ns->Record(obs::NowNs() - job_start);
+  if (err) std::rethrow_exception(err);
 }
 
 size_t ThreadPool::RunTasks(const std::function<void(size_t)>* fn,
@@ -112,14 +118,25 @@ size_t ThreadPool::RunTasks(const std::function<void(size_t)>* fn,
   for (;;) {
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return executed;
-    if (obs_on) {
-      const uint64_t t0 = obs::NowNs();
-      (*fn)(i);
-      Metrics().task_ns->Record(obs::NowNs() - t0);
-    } else {
-      (*fn)(i);
+    // Fail fast after a task threw: skip the body of every index claimed
+    // from here on, but still count each one down — pending_ must reach 0
+    // or ParallelFor (and the next job) would wait forever.
+    if (!job_failed_.load(std::memory_order_acquire)) {
+      try {
+        if (obs_on) {
+          const uint64_t t0 = obs::NowNs();
+          (*fn)(i);
+          Metrics().task_ns->Record(obs::NowNs() - t0);
+        } else {
+          (*fn)(i);
+        }
+        ++executed;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job_error_) job_error_ = std::current_exception();
+        job_failed_.store(true, std::memory_order_release);
+      }
     }
-    ++executed;
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();

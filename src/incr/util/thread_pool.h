@@ -14,9 +14,14 @@
 //     process-wide Global() pool is only constructed on first use.
 //
 // One job runs at a time per pool; ParallelFor is not reentrant from
-// inside a task of the same pool (the view tree never nests it). Tasks
-// must not throw: the codebase reports bugs via INCR_CHECK (abort), and an
-// exception escaping a worker would terminate anyway.
+// inside a task of the same pool (the view tree never nests it). A task
+// that throws fails the job fast: the first exception is captured, the
+// remaining unclaimed indexes are skipped (claimed-but-skipped tasks still
+// count down, so the job always drains), and ParallelFor rethrows the
+// captured exception on the calling thread once every worker has let go
+// of the job. Exceptions after the first are swallowed. The library's own
+// maintenance tasks still report bugs via INCR_CHECK (abort); propagation
+// exists for user-supplied sinks and callbacks that run inside tasks.
 #ifndef INCR_UTIL_THREAD_POOL_H_
 #define INCR_UTIL_THREAD_POOL_H_
 
@@ -24,6 +29,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -51,6 +57,8 @@ class ThreadPool {
   /// pool's threads (the caller participates), and returns when all n
   /// calls have finished. Completed work happens-before the return.
   /// With a single-thread pool (or n <= 1) this is a plain inline loop.
+  /// If a task throws, the job fails fast (remaining indexes are skipped)
+  /// and the first exception is rethrown here after the job drains.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   /// The thread count used when a knob is 0: the INCR_THREADS environment
@@ -79,8 +87,10 @@ class ThreadPool {
   size_t epoch_ = 0;                                     // guarded by mu_
   size_t active_workers_ = 0;                            // guarded by mu_
   bool stop_ = false;                                    // guarded by mu_
+  std::exception_ptr job_error_;    // first task exception; guarded by mu_
   std::atomic<size_t> next_{0};     // next unclaimed index of the job
   std::atomic<size_t> pending_{0};  // tasks not yet finished
+  std::atomic<bool> job_failed_{false};  // fail-fast flag for this job
   // Submission timestamp of the current job (obs::NowNs), 0 when metrics
   // are off — lets woken workers report their wake latency.
   std::atomic<uint64_t> job_submit_ns_{0};

@@ -1,11 +1,21 @@
 // Snapshot file format tests: round trips (including ring payload blobs for
-// every ring serde), atomicity of rewrite, and rejection of damaged files.
+// every ring serde), atomicity of rewrite, rejection of damaged files, and
+// Checkpoint() under concurrent snapshot readers (the written state must be
+// a published epoch, never a mid-build hybrid).
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <span>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "incr/engines/durable_engine.h"
+#include "incr/engines/engine.h"
 #include "incr/ring/bool_semiring.h"
 #include "incr/ring/covar_ring.h"
 #include "incr/ring/int_ring.h"
@@ -13,6 +23,7 @@
 #include "incr/ring/product_ring.h"
 #include "incr/ring/provenance.h"
 #include "incr/store/checkpoint.h"
+#include "incr/store/recover.h"
 #include "incr/store/serde.h"
 #include "incr/util/rng.h"
 
@@ -155,6 +166,115 @@ TEST(CheckpointTest, PayloadSerdeCoversAllRings) {
   p = ProvenanceRing::Add(p, ProvenanceRing::Mul(Polynomial::Var(1),
                                                  Polynomial::Var(2)));
   CheckPayloadRoundTrip<ProvenanceRing>(p);
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint() while snapshot readers are live.
+//
+// The maintainer periodically checkpoints a durable engine whose inner
+// view tree serves snapshot reads, with reader threads enumerating and one
+// handle held across the whole run. Every written snapshot must serialize
+// a published epoch: its state bytes equal those of an identically
+// configured shadow engine that applied the same batch prefix. A
+// checkpoint that raced the version build would serialize a hybrid no
+// sequential execution can produce.
+
+ViewTreeEngine<IntRing> MakeServeEngine() {
+  enum : Var { A = 0, B = 1, C = 2 };
+  Query q("Q", Schema{A, B, C},
+          {Atom{"R", Schema{A, B}}, Atom{"S", Schema{A, C}}});
+  auto tree = ViewTree<IntRing>::Make(q);
+  INCR_CHECK(tree.ok());
+  return ViewTreeEngine<IntRing>(*std::move(tree));
+}
+
+std::string EngineDumpBytes(IvmEngine<IntRing>& e) {
+  ByteWriter w;
+  Status st = e.DumpState(w);
+  EXPECT_TRUE(st.ok()) << st.message();
+  return w.Take();
+}
+
+TEST(CheckpointTest, CheckpointUnderConcurrentSnapshotReaders) {
+  const std::string dir = ::testing::TempDir() + "ckpt_concurrent";
+  ASSERT_TRUE(EnsureDir(dir).ok());
+  std::remove(WalPath(dir).c_str());
+  std::remove(SnapshotPath(dir).c_str());
+
+  constexpr size_t kBatches = 200;
+  constexpr size_t kBatch = 20;
+  constexpr size_t kCheckpointEvery = 40;
+
+  EngineOptions opts;
+  opts.durability_dir = dir;
+  opts.fsync = false;
+  opts.snapshot_reads = true;
+  // One handle is held across all batches, so every epoch published during
+  // the run stays retained; size the cap accordingly.
+  opts.max_retained_epochs = kBatches + 16;
+
+  auto live = DurableEngine<IntRing>::Open(
+      std::make_unique<ViewTreeEngine<IntRing>>(MakeServeEngine()), opts,
+      nullptr);
+  ASSERT_TRUE(live.ok()) << live.status().message();
+  auto* vt = dynamic_cast<ViewTreeEngine<IntRing>*>(&(*live)->inner());
+  ASSERT_NE(vt, nullptr);
+  ASSERT_TRUE(vt->tree().snapshots_enabled());
+
+  ViewTreeEngine<IntRing> shadow = MakeServeEngine();
+  EngineOptions shadow_opts;
+  shadow_opts.snapshot_reads = true;
+  shadow_opts.max_retained_epochs = opts.max_retained_epochs;
+  shadow.Configure(shadow_opts);
+
+  // Deterministic small-domain churn keeps every retained version tiny.
+  Rng rng(77);
+  std::vector<Delta<IntRing>> updates;
+  updates.reserve(kBatches * kBatch);
+  for (size_t i = 0; i < kBatches * kBatch; ++i) {
+    Delta<IntRing> d;
+    d.relation.assign(rng.Chance(0.5) ? "R" : "S", 1);
+    d.tuple = Tuple{rng.UniformInt(0, 7), rng.UniformInt(0, 7)};
+    d.delta = rng.Chance(0.7) ? 1 : -1;
+    updates.push_back(std::move(d));
+  }
+
+  // A handle pinned before any load, held until after the joins.
+  ViewTreeSnapshot<IntRing> held = vt->tree().Snapshot();
+  const uint64_t pinned_epoch = held.epoch();
+  const int64_t pinned_agg = held.Aggregate();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        (*live)->EnumerateSnapshot(nullptr);
+      }
+    });
+  }
+
+  for (size_t b = 0; b < kBatches; ++b) {
+    std::span<const Delta<IntRing>> span(updates.data() + b * kBatch, kBatch);
+    (*live)->ApplyBatch(span);
+    shadow.ApplyBatch(span);
+    if ((b + 1) % kCheckpointEvery == 0) {
+      ASSERT_TRUE((*live)->Checkpoint().ok()) << "batch " << b;
+      auto snap = ReadSnapshotFile(SnapshotPath(dir));
+      ASSERT_TRUE(snap.ok()) << snap.status().message();
+      // The checkpointed state is exactly the published epoch after b+1
+      // batches — bit-identical to the shadow's serialization.
+      EXPECT_EQ(snap->state, EngineDumpBytes(shadow)) << "batch " << b;
+    }
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(held.epoch(), pinned_epoch);
+  EXPECT_EQ(held.Aggregate(), pinned_agg);
+  EXPECT_EQ(vt->tree().published_epoch(), pinned_epoch + kBatches);
+  EXPECT_EQ(EngineDumpBytes(**live), EngineDumpBytes(shadow));
 }
 
 }  // namespace

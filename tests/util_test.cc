@@ -1,6 +1,8 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "incr/util/small_vector.h"
 #include "incr/util/stats.h"
 #include "incr/util/status.h"
+#include "incr/util/thread_pool.h"
 
 namespace incr {
 namespace {
@@ -205,6 +208,47 @@ TEST(StatsTest, LogLogSlopeRecoversExponent) {
     y.push_back(3.0 * std::pow(n, 1.5));
   }
   EXPECT_NEAR(LogLogSlope(x, y), 1.5, 1e-9);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](size_t i) {
+                         if (i == 17) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The job drained fully despite the failure: the pool is reusable and
+  // a subsequent job runs every index.
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(32, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ParallelForPreservesExceptionMessage) {
+  ThreadPool pool(3);
+  try {
+    pool.ParallelFor(16, [](size_t i) {
+      if (i % 2 == 0) throw std::runtime_error("worker failed");
+    });
+    FAIL() << "ParallelFor swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "worker failed");
+  }
+}
+
+TEST(ThreadPoolTest, InlinePathPropagatesException) {
+  // threads <= 1 runs tasks inline on the caller; the exception must
+  // surface the same way as on the worker path.
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [](size_t i) {
+                                  if (i == 3) throw std::logic_error("inline");
+                                }),
+               std::logic_error);
+  std::atomic<size_t> ran{0};
+  pool.ParallelFor(8, [&](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8u);
 }
 
 TEST(StatsTest, LogLogSlopeSkipsNonPositive) {

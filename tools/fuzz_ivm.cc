@@ -48,6 +48,7 @@ struct Args {
   double duration_s = 0;      // > 0: run until the wall clock says stop
   size_t check_every = 16;
   size_t threads = 4;
+  size_t readers = 0;
   bool durable = true;
   bool shrink = true;
   bool quiet = false;
@@ -66,6 +67,8 @@ void Usage(const char* argv0) {
       "  --duration SEC  run consecutive seeds for ~SEC seconds\n"
       "  --check-every N oracle-compare cadence in steps (default 16)\n"
       "  --threads N     parallel view-tree thread count (default 4)\n"
+      "  --readers N     concurrent snapshot-reader threads (default 0 =\n"
+      "                  skip the snapshot-isolation pass)\n"
       "  --no-durable    skip the WAL kill/recovery passes\n"
       "  --no-shrink     report failures unshrunk\n"
       "  --out-dir DIR   where .repro files and WAL scratch go (default .)\n"
@@ -98,6 +101,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->check_every = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--threads") == 0 && (v = need(i))) {
       a->threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--readers") == 0 && (v = need(i))) {
+      a->readers = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--no-durable") == 0) {
       a->durable = false;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
@@ -120,6 +125,7 @@ DifferOptions MakeDifferOptions(const Args& a, uint64_t seed) {
   DifferOptions d;
   d.check_every = a.check_every;
   d.threads = a.threads;
+  d.readers = a.readers;
   d.durable = a.durable;
   d.scratch_dir = a.out_dir + "/.fuzz_wal";
   d.seed = seed;

@@ -1,8 +1,9 @@
-// E15: parallel partitioned batch maintenance (DESIGN.md §"Parallel batch
-// maintenance").
+// E15 + E18: morsel-driven parallel batch maintenance (DESIGN.md §"Parallel
+// batch maintenance").
 //
-// Sweeps thread counts {1, 2, 4, 8} x batch sizes {100, 1k, 10k} over three
-// workloads on the node-at-a-time batch path:
+// E15 sweeps thread counts {1, 2, 4, 8} x batch sizes {100, 1k, 10k}; E18
+// sweeps the morsel size (INCR_MORSEL_BYTES) at a fixed thread count on the
+// fan-out workloads. Three workloads on the node-at-a-time batch path:
 //
 //   * retailer-inventory: the Fig. 4 Retailer 5-way join under its F-IVM
 //     order, streaming Inventory deltas — each delta propagates in O(1), so
@@ -15,19 +16,27 @@
 //   * triangle: the cyclic triangle count under a path order — ByRange
 //     multi-atom probing, medium fan-out.
 //
-// threads == 1 runs the exact sequential PR-1 path (no pool, single-shard
-// W); speedups are reported relative to it. The final aggregate of every
-// cell is checked identical across all thread counts — the headline
-// determinism invariant, measured for free. Results land in
-// BENCH_parallel.json. Expected shape on a multi-core host: retailer-item
-// and triangle scale toward min(threads, shards) until the sequential
-// merge floor bites; retailer-inventory stays flat or regresses slightly.
+// threads == 1 short-circuits to the exact sequential path (no pool, no
+// partitioning); speedups are reported relative to it. The final aggregate
+// of every cell is checked identical across all thread counts AND all
+// morsel sizes — the headline determinism invariant, measured for free.
+// Results land in BENCH_parallel.json ("build" records the host's
+// hardware_concurrency so readers can judge the thread sweep; a 1-core run
+// legitimately shows no speedup). Expected shape on a multi-core host:
+// retailer-item and triangle scale toward min(threads, cores) until the
+// shard-fold floor bites; retailer-inventory (O(1) deltas) stays flat.
+//
+// INCR_BENCH_SMOKE=1 shrinks both sweeps so CI can exercise the full
+// binary — including the JSON plumbing the regression guard parses — in
+// seconds.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -45,6 +54,11 @@ namespace {
 enum : Var { A = 0, B = 1, C = 2 };
 
 using Entry = ViewTree<IntRing>::BatchEntry;
+
+bool SmokeMode() {
+  const char* v = std::getenv("INCR_BENCH_SMOKE");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
 
 struct Workload {
   std::string name;
@@ -125,27 +139,37 @@ Workload TriangleWorkload() {
   };
 }
 
-// One (workload, threads, batch) cell: fresh preloaded tree, SetThreads,
-// then the usual insert/retract alternation (even reps insert a fresh
-// batch, odd ones negate it) so the database stays near its preloaded
-// size. Returns ns/delta; *aggregate gets the final state fingerprint.
-double MeasureCell(const Workload& w, size_t threads, int64_t batch_size,
+// One (workload, threads, morsel, batch) cell: fresh preloaded tree,
+// SetThreads + SetMorselBytes, then the usual insert/retract alternation
+// (even reps insert a fresh batch, odd ones negate it) so the database
+// stays near its preloaded size. Returns ns/delta; *aggregate gets the
+// final state fingerprint.
+double MeasureCell(const Workload& w, size_t threads, size_t morsel_bytes,
+                   int64_t batch_size, int64_t total_ops,
                    int64_t* aggregate) {
   ViewTree<IntRing> tree = w.build();
   tree.SetThreads(threads);
-  const int64_t total_ops = 12000;
+  tree.SetMorselBytes(morsel_bytes);
   int64_t reps = std::max<int64_t>(2, total_ops / batch_size);
   if (reps % 2 != 0) ++reps;
   Rng rng(13);
   std::vector<Entry> batch;
   double secs = 0;
   int64_t ops = 0;
-  for (int64_t rep = 0; rep < reps; ++rep) {
-    if (rep % 2 == 0) {
+  // One untimed insert+retract warm-up pair: touches the views, the pool,
+  // and the allocator so short (smoke) runs measure steady state, not the
+  // first batch's cold caches — the regression guard compares smoke runs
+  // against full-run baselines.
+  for (int64_t rep = -2; rep < reps; ++rep) {
+    if (rep % 2 == 0) {  // -2 included: fresh batch, then its negation
       batch.clear();
       for (int64_t i = 0; i < batch_size; ++i) batch.push_back(w.draw(rng));
     } else {
       for (Entry& e : batch) e.delta = -e.delta;
+    }
+    if (rep < 0) {
+      tree.ApplyBatch(std::span<const Entry>(batch));
+      continue;
     }
     Stopwatch sw;
     tree.ApplyBatch(std::span<const Entry>(batch));
@@ -159,20 +183,33 @@ double MeasureCell(const Workload& w, size_t threads, int64_t batch_size,
 }  // namespace
 
 int main() {
-  Section("E15: shard-parallel vs sequential batches (ns/delta)");
-  std::printf("shards fixed at %zu; threads only decide who runs them\n",
-              ViewTree<IntRing>::DefaultDeltaShards());
+  const bool smoke = SmokeMode();
+  const int64_t total_ops = smoke ? 4000 : 12000;
+  const unsigned hw = std::thread::hardware_concurrency();
+  Section("E15: morsel-parallel vs sequential batches (ns/delta)");
+  std::printf(
+      "hardware_concurrency %u; shards fixed at %zu; threads only decide "
+      "who runs the morsel grid%s\n",
+      hw, ViewTree<IntRing>::DefaultDeltaShards(),
+      smoke ? "  [SMOKE]" : "");
   Row({"query", "batch", "threads", "ns/delta", "speedup"});
   JsonArrayWriter json;
+  const std::vector<int64_t> batches =
+      smoke ? std::vector<int64_t>{1000}
+            : std::vector<int64_t>{100, 1000, 10000};
+  const std::vector<size_t> thread_sweep =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
   for (const Workload& w :
        {RetailerInventoryWorkload(), RetailerItemWorkload(),
         TriangleWorkload()}) {
-    for (int64_t batch : {100, 1000, 10000}) {
+    for (int64_t batch : batches) {
       double base_ns = 0;
       int64_t base_agg = 0;
-      for (size_t threads : {1, 2, 4, 8}) {
+      for (size_t threads : thread_sweep) {
         int64_t agg = 0;
-        double ns = MeasureCell(w, threads, batch, &agg);
+        double ns =
+            MeasureCell(w, threads, /*morsel_bytes=*/0, batch, total_ops,
+                        &agg);
         if (threads == 1) {
           base_ns = ns;
           base_agg = agg;
@@ -185,21 +222,69 @@ int main() {
         Row({w.name, FmtInt(batch), FmtInt(static_cast<int64_t>(threads)),
              Fmt(ns), Fmt(speedup, "%.2f")});
         json.BeginObject();
+        json.Field("section", std::string("threads"));
         json.Field("query", w.name);
         json.Field("batch", batch);
         json.Field("threads", static_cast<int64_t>(threads));
+        json.Field("morsel_bytes", static_cast<int64_t>(0));
         json.Field("ns_per_delta", ns);
         json.Field("speedup_vs_seq", speedup);
         json.EndObject();
       }
     }
   }
+
+  // E18: the morsel-size sweep. Fixed thread count, fan-out workloads
+  // (the ByRange path is the only consumer of the grid), morsel sizes
+  // from one-cache-line to effectively-one-morsel. Scheduling only:
+  // every cell must land on the same aggregate.
+  Section("E18: morsel-size sweep (ns/delta)");
+  const size_t sweep_threads = smoke ? 2 : 4;
+  const int64_t sweep_batch = smoke ? 1000 : 10000;
+  std::printf("threads fixed at %zu, batch %lld; 0 = cache-sized default\n",
+              sweep_threads, static_cast<long long>(sweep_batch));
+  Row({"query", "morsel B", "ns/delta", "vs default"});
+  const std::vector<size_t> morsels =
+      smoke ? std::vector<size_t>{0, 64, 65536}
+            : std::vector<size_t>{0,    64,    1024, 4096,
+                                  16384, 65536, size_t{1} << 20};
+  for (const Workload& w : {RetailerItemWorkload(), TriangleWorkload()}) {
+    double default_ns = 0;
+    int64_t base_agg = 0;
+    bool have_base = false;
+    for (size_t morsel : morsels) {
+      int64_t agg = 0;
+      double ns = MeasureCell(w, sweep_threads, morsel, sweep_batch,
+                              total_ops, &agg);
+      if (!have_base) {
+        default_ns = ns;
+        base_agg = agg;
+        have_base = true;
+      } else {
+        INCR_CHECK(agg == base_agg);  // morsel size is pure scheduling
+      }
+      double rel = ns > 0 ? default_ns / ns : 0;
+      Row({w.name, FmtInt(static_cast<int64_t>(morsel)), Fmt(ns),
+           Fmt(rel, "%.2f")});
+      json.BeginObject();
+      json.Field("section", std::string("morsel"));
+      json.Field("query", w.name);
+      json.Field("batch", sweep_batch);
+      json.Field("threads", static_cast<int64_t>(sweep_threads));
+      json.Field("morsel_bytes", static_cast<int64_t>(morsel));
+      json.Field("ns_per_delta", ns);
+      json.Field("speedup_vs_seq", rel);
+      json.EndObject();
+    }
+  }
+
   if (json.WriteFile("BENCH_parallel.json")) {
     std::printf("\nwrote BENCH_parallel.json\n");
   }
   std::printf(
       "expected multi-core shape: retailer-item and triangle approach "
-      "min(threads, shards) at batch 10k; retailer-inventory (O(1) deltas) "
-      "stays flat — parallelism cannot beat constant-time sequential work\n");
+      "min(threads, cores) at batch 10k; retailer-inventory (O(1) deltas) "
+      "stays flat — parallelism cannot beat constant-time sequential work; "
+      "tiny morsels pay claim/steal overhead, huge morsels starve threads\n");
   return 0;
 }

@@ -17,6 +17,10 @@
 //                                        (1 = sequential, 0 = hardware;
 //                                        results are thread-count
 //                                        independent)
+//   morsel <bytes>                       work-stealing morsel size for
+//                                        parallel batches (0 = cache-sized
+//                                        default; results are morsel-size
+//                                        independent)
 //   durable <dir>                        write-ahead-log every update to
 //                                        <dir> and recover state from the
 //                                        snapshot + log found there
@@ -163,6 +167,19 @@ struct Session {
                 opts.threads == 0 ? " (hardware default)" : "");
   }
 
+  void SetMorsel(const std::string& arg) {
+    char* end = nullptr;
+    long n = std::strtol(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || n < 0) {
+      std::printf("usage: morsel <bytes>  (0 = cache-sized default)\n");
+      return;
+    }
+    opts.morsel_bytes = static_cast<size_t>(n);
+    if (engine) engine->Configure(opts);
+    std::printf("morsel size: %zu byte(s)%s\n", opts.morsel_bytes,
+                opts.morsel_bytes == 0 ? " (cache-sized default)" : "");
+  }
+
   // Enables durability in `dir`: the engine is rebuilt empty, then restored
   // from the snapshot + WAL found there (so pointing two sessions at the
   // same dir hands state from one to the next).
@@ -295,6 +312,8 @@ struct Session {
                 opts.threads == 0 ? " (hardware default)" : "");
     std::printf("  shards:             %zu%s\n", opts.shards,
                 opts.shards == 0 ? " (process default)" : "");
+    std::printf("  morsel_bytes:       %zu%s\n", opts.morsel_bytes,
+                opts.morsel_bytes == 0 ? " (cache-sized default)" : "");
     std::printf("  obs:                %s\n",
                 opts.obs.has_value() ? (*opts.obs ? "on" : "off")
                                      : (obs::Enabled() ? "on (process)"
@@ -543,10 +562,10 @@ struct Session {
     if (line == "quit" || line == "exit") return false;
     if (line == "help") {
       std::printf("commands: query <def> | engine <kind> | +Rel v1 v2 [xN] "
-                  "| -Rel v1 v2 | batch <file> | threads <n> | durable "
-                  "<dir> | checkpoint | serve <readers> [millis] | options "
-                  "| enum | agg | classify | stats [reset] | trace on "
-                  "<file> | trace off | quit\n");
+                  "| -Rel v1 v2 | batch <file> | threads <n> | morsel "
+                  "<bytes> | durable <dir> | checkpoint | serve <readers> "
+                  "[millis] | options | enum | agg | classify | stats "
+                  "[reset] | trace on <file> | trace off | quit\n");
       std::printf("engine kinds: eager-fact eager-list lazy-fact lazy-list "
                   "view-tree\n");
     } else if (line.rfind("query ", 0) == 0) {
@@ -557,6 +576,8 @@ struct Session {
       Batch(line.substr(6));
     } else if (line.rfind("threads ", 0) == 0) {
       SetThreads(line.substr(8));
+    } else if (line.rfind("morsel ", 0) == 0) {
+      SetMorsel(line.substr(7));
     } else if (line.rfind("durable ", 0) == 0) {
       Durable(line.substr(8));
     } else if (line == "checkpoint") {

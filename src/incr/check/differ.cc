@@ -158,12 +158,14 @@ std::vector<EngineVariant> BuiltinVariants(const GenQuery& q,
   std::vector<EngineVariant> out;
   const Schema vt_out = MakeTree(q).OutputSchema();
 
-  auto make_view_tree = [qp](size_t threads) {
-    return [qp, threads]() -> std::unique_ptr<IvmEngine<IntRing>> {
+  auto make_view_tree = [qp](size_t threads, size_t morsel_bytes) {
+    return [qp, threads,
+            morsel_bytes]() -> std::unique_ptr<IvmEngine<IntRing>> {
       auto e = std::make_unique<ViewTreeEngine<IntRing>>(MakeTree(*qp));
       if (threads > 1) {
         EngineOptions o;
         o.threads = threads;
+        o.morsel_bytes = morsel_bytes;
         e->Configure(o);
       }
       return e;
@@ -172,21 +174,26 @@ std::vector<EngineVariant> BuiltinVariants(const GenQuery& q,
 
   // The universal engine: single-update reference, plus the batch path
   // sequentially and in parallel. Parallel results are ring-identical to
-  // sequential but NOT byte-identical (sharded application inserts into
-  // the node maps in shard order, not input order), so the byte-level
-  // group spans only the parallel configs: shard-order application is
-  // invariant under the thread count, so any two thread counts must dump
-  // the same bytes.
-  out.push_back({"view-tree/single", make_view_tree(1), vt_out,
+  // sequential but NOT byte-identical (the parallel W layout is sharded),
+  // so the byte-level group spans only the parallel configs: the shard
+  // partition and per-shard application order are invariant under both
+  // the thread count and the morsel grid, so any two parallel configs —
+  // including one with a deliberately tiny morsel size, which maximizes
+  // segment count and stealing — must dump the same bytes.
+  out.push_back({"view-tree/single", make_view_tree(1, 0), vt_out,
                  /*batch_mode=*/false, "single"});
-  out.push_back({"view-tree/batch/t1", make_view_tree(1), vt_out,
+  out.push_back({"view-tree/batch/t1", make_view_tree(1, 0), vt_out,
                  /*batch_mode=*/true, "batch-seq"});
   if (opts.threads > 1) {
-    out.push_back({"view-tree/batch/t2", make_view_tree(2), vt_out,
+    out.push_back({"view-tree/batch/t2",
+                   make_view_tree(2, opts.morsel_bytes), vt_out,
+                   /*batch_mode=*/true, "batch-par"});
+    out.push_back({"view-tree/batch/t2/m64", make_view_tree(2, 64), vt_out,
                    /*batch_mode=*/true, "batch-par"});
     if (opts.threads != 2) {
       out.push_back({"view-tree/batch/t" + std::to_string(opts.threads),
-                     make_view_tree(opts.threads), vt_out,
+                     make_view_tree(opts.threads, opts.morsel_bytes),
+                     vt_out,
                      /*batch_mode=*/true, "batch-par"});
     }
   }
@@ -463,6 +470,7 @@ DiffResult RunDiffer(const GenQuery& q, const Stream& stream,
       ViewTreeEngine<IntRing> eng(MakeTree(q));
       EngineOptions copts;
       copts.threads = opts.threads;
+      copts.morsel_bytes = opts.morsel_bytes;
       copts.snapshot_reads = true;
       copts.max_retained_epochs = 8;
       eng.Configure(copts);
@@ -578,6 +586,13 @@ DiffResult RunDiffer(const GenQuery& q, const Stream& stream,
   EngineOptions dopts;
   dopts.durability_dir = dir;
   dopts.fsync = false;  // process-death durability is what we test
+  // Drive the durable passes through the parallel morsel path too: Open
+  // configures the inner engine with these options after recovery, and
+  // serialization is canonical, so live, recovered, and shadow engines
+  // dump identical bytes as long as they share one (threads, shards,
+  // morsel) configuration.
+  dopts.threads = opts.threads;
+  dopts.morsel_bytes = opts.morsel_bytes;
   auto make_inner = [&q]() -> std::unique_ptr<IvmEngine<IntRing>> {
     return std::make_unique<ViewTreeEngine<IntRing>>(MakeTree(q));
   };
@@ -683,6 +698,7 @@ DiffResult RunDiffer(const GenQuery& q, const Stream& stream,
       return res;
     }
     ViewTreeEngine<IntRing> shadow(MakeTree(q));
+    shadow.Configure(dopts);  // same threads/morsel as the durable engine
     for (size_t i = 0; i < k; ++i) {
       ApplyStep(shadow, stream.steps[i], /*batch_mode=*/true);
     }

@@ -79,6 +79,13 @@ struct DifferOptions {
   size_t check_every = 16;
   /// Thread count for the parallel view-tree variant.
   size_t threads = 4;
+  /// Morsel size (bytes of input deltas per work-stealing morsel) for the
+  /// parallel variants and the snapshot/durability passes; 0 = the engine
+  /// default. Independent of this knob, BuiltinVariants always adds one
+  /// parallel variant at a deliberately tiny morsel size to the same
+  /// byte-identity dump group — morsel scheduling must be invisible in
+  /// serialized state, whatever the grid.
+  size_t morsel_bytes = 0;
   /// Run the durable full-recovery and kill-at-random-LSN passes. Needs
   /// `scratch_dir`.
   bool durable = true;

@@ -202,6 +202,22 @@ class ViewTree {
   ThreadPool* pool() const { return pool_.get(); }
   size_t num_shards() const { return shards_; }
 
+  /// Morsel granularity of the parallel batch path, in bytes of input
+  /// delta entries per morsel (the unit of work-stealing in
+  /// ThreadPool::ParallelMorsels). Cache-sized by default. Scheduling
+  /// only: results are bit-identical at every morsel size (the morsel
+  /// grid fixes emission segment boundaries independent of threads), so
+  /// unlike SetThreads this never invalidates snapshot replay logs.
+  /// bytes == 0 restores the default.
+  static constexpr size_t kDefaultMorselBytes = size_t{1} << 14;
+  void SetMorselBytes(size_t bytes) {
+    morsel_bytes_ = bytes == 0 ? kDefaultMorselBytes : bytes;
+    obs::MetricsRegistry::Global()
+        .GetGauge("viewtree.morsel_bytes")
+        ->Set(static_cast<int64_t>(morsel_bytes_));
+  }
+  size_t morsel_bytes() const { return morsel_bytes_; }
+
   /// Sets the lifting function of variable `v`. Must be called while the
   /// tree is empty (lifted values are baked into the M views).
   void SetLifting(Var v, Lift fn) {
@@ -708,6 +724,11 @@ class ViewTree {
   /// (which must stay un-instrumented and must not publish).
   void ApplyBatchTo(const DeltaBatch<R>& batch) {
     const bool obs_on = obs::Enabled() && !stats_muted_;
+    // threads == 1 short-circuits to the direct sequential path even if a
+    // degenerate one-thread pool was installed: partitioning, per-shard
+    // buffers, and morsel bookkeeping are pure overhead with one executor,
+    // and the sequential path is the determinism baseline anyway.
+    const bool par = pool_ != nullptr && pool_->num_threads() > 1;
     // Pending per-node delta relations over the node's key schema, handed
     // from each node to its parent (or folded into M at the roots).
     std::vector<std::unique_ptr<Relation<R>>> pending(plan_.nodes().size());
@@ -716,7 +737,7 @@ class ViewTree {
       const int node = pre[k];
       const uint64_t t0 = obs_on ? obs::NowNs() : 0;
       if (stats_muted_) {
-        if (pool_ == nullptr) {
+        if (!par) {
           ProcessNodeBatch(node, batch, &pending);
         } else {
           ProcessNodeBatchParallel(node, batch, &pending);
@@ -725,7 +746,7 @@ class ViewTree {
       }
       obs::TraceSpan node_span("viewtree.node");
       node_span.AddArg("node", static_cast<uint64_t>(node));
-      if (pool_ == nullptr) {
+      if (!par) {
         ProcessNodeBatch(node, batch, &pending);
       } else {
         ProcessNodeBatchParallel(node, batch, &pending);
@@ -949,25 +970,34 @@ class ViewTree {
 
   /// Shard-parallel counterpart of ProcessNodeBatch. Same product-rule
   /// source order and the same fold, decomposed over `shards_` hash shards
-  /// of the node's key space so that threads never share a DenseMap:
+  /// of the node's key space so that threads never share a DenseMap.
   ///
-  ///   1. The source's own storage is updated first (map mutation is
-  ///      sequential; grouped-index replay is pool-parallel per index).
-  ///   2. The source's program runs data-parallel, partitioned either ByKey
-  ///      (when the source determines the node key, so source shard s can
-  ///      emit straight into W-delta bucket s) or ByRange (contiguous
-  ///      chunks whose emissions are scattered into per-chunk buckets and
-  ///      gathered per shard in chunk order).
-  ///   3. After all sources, shard s folds bucket s into W shard s and a
-  ///      shard-local M-delta; the M-deltas are merged sequentially in
-  ///      shard order (they have pairwise disjoint keys).
+  /// Emissions are collected as an ordered list of *emit segments*: each
+  /// segment holds S shard-local buffers, and for every shard s the
+  /// concatenation of segment buffers seg[0][s], seg[1][s], ... is exactly
+  /// the sequential w_deltas emission order restricted to shard s. Two
+  /// segment producers:
   ///
-  /// Determinism: bucket s always receives exactly the subsequence of the
-  /// sequential w_deltas whose key hashes to shard s, in sequential order —
-  /// the partition depends only on shards_ (fixed), never on the thread
-  /// count or schedule. Per W-tuple and per M-key, the ring-operation
-  /// sequence is therefore identical to the sequential path, so payloads
-  /// match bit-for-bit even for non-associative float rings.
+  ///   * A ByKey source (source tuple determines the node key) runs as one
+  ///     segment: the same hash partitions source deltas and node keys, so
+  ///     source shard s emits straight into the segment's buffer s.
+  ///   * A ByRange source runs morsel-driven (ThreadPool::ParallelMorsels):
+  ///     its input span is carved on a fixed cache-sized morsel grid and
+  ///     each grid cell is one segment, filled by whichever thread steals
+  ///     it. Grid boundaries depend only on the input size and morsel
+  ///     bytes — never on thread count or schedule.
+  ///
+  /// The fold is fused with emission bookkeeping: shard s walks the
+  /// segment list in order and applies each buffer s directly into W
+  /// shard s and its shard-local M-delta — there is no separate gather
+  /// phase and no bucket concatenation copy. M-deltas have pairwise
+  /// disjoint keys and are merged sequentially in shard order.
+  ///
+  /// Determinism: the segment order is the sequential source/emission
+  /// order and the shard partition depends only on shards_ (fixed), so
+  /// per W-tuple and per M-key the ring-operation sequence is identical
+  /// to the sequential path — payloads match bit-for-bit even for
+  /// non-associative float rings, at any thread count and morsel size.
   void ProcessNodeBatchParallel(
       int node, const DeltaBatch<R>& batch,
       std::vector<std::unique_ptr<Relation<R>>>* pending) {
@@ -985,7 +1015,13 @@ class ViewTree {
     const size_t S = shards_;
     ThreadPool* pool = pool_.get();
     const size_t key_size = pn.key.size();
-    std::vector<std::vector<std::pair<Tuple, RV>>> buckets(S);
+    // One emit segment = S shard-local buffers. Segments are appended in
+    // source order; within a ByRange source, in morsel-grid order.
+    using EmitSegment = std::vector<std::vector<std::pair<Tuple, RV>>>;
+    std::vector<EmitSegment> segments;
+    // Morsels are sized in bytes of input entries (cache-resident units).
+    const size_t morsel_elems = std::max<size_t>(
+        1, morsel_bytes_ / sizeof(typename DeltaBatch<R>::Entry));
 
     auto shard_of_w = [&](const Tuple& wt) {
       return ShardOfHash(
@@ -997,38 +1033,40 @@ class ViewTree {
                               entries) {
       if (ss.by_key) {
         // Source shard s touches only node keys of shard s, so it can emit
-        // directly into bucket s: the same hash partitions both sides.
+        // directly into the segment's buffer s: the same hash partitions
+        // both sides. One segment per ByKey source.
         auto parts = DeltaShards<R>::ByKey(
             entries, {ss.key_cols.data(), ss.key_cols.size()}, S);
+        segments.emplace_back(S);
+        EmitSegment& seg = segments.back();
         pool->ParallelFor(S, [&](size_t s) {
           for (const auto& e : parts.shard(s)) {
-            RunProgram(prog, e.key, e.value, pn.w_schema, &buckets[s]);
+            RunProgram(prog, e.key, e.value, pn.w_schema, &seg[s]);
           }
         });
         return;
       }
-      // Fallback: contiguous chunks; chunk c scatters its emissions into
-      // per-chunk shard buckets, then shard s gathers chunk buckets in
-      // chunk order — which is exactly the sequential emission order
-      // restricted to shard s.
-      auto parts = DeltaShards<R>::ByRange(entries, S);
-      std::vector<std::vector<std::vector<std::pair<Tuple, RV>>>> chunk_out(
-          S, std::vector<std::vector<std::pair<Tuple, RV>>>(S));
-      pool->ParallelFor(S, [&](size_t c) {
-        std::vector<std::pair<Tuple, RV>> emitted;
-        for (const auto& e : parts.shard(c)) {
-          RunProgram(prog, e.key, e.value, pn.w_schema, &emitted);
-        }
-        for (auto& [wt, wd] : emitted) {
-          chunk_out[c][shard_of_w(wt)].emplace_back(std::move(wt),
-                                                    std::move(wd));
-        }
-      });
-      pool->ParallelFor(S, [&](size_t s) {
-        for (size_t c = 0; c < S; ++c) {
-          for (auto& wd : chunk_out[c][s]) buckets[s].push_back(std::move(wd));
-        }
-      });
+      // Fallback: morsel-driven over the raw input span. Each fixed grid
+      // cell [begin, end) owns segment first + begin/morsel_elems and
+      // scatters its emissions into that segment's shard buffers — no
+      // thread ever writes another cell's segment, and no gather runs:
+      // the fold consumes the segments where they were written.
+      const size_t nseg = (entries.size() + morsel_elems - 1) / morsel_elems;
+      const size_t first = segments.size();
+      for (size_t k = 0; k < nseg; ++k) segments.emplace_back(S);
+      pool->ParallelMorsels(
+          entries.size(), morsel_elems, [&](size_t begin, size_t end) {
+            EmitSegment& seg = segments[first + begin / morsel_elems];
+            std::vector<std::pair<Tuple, RV>> emitted;
+            for (size_t i = begin; i < end; ++i) {
+              const auto& e = entries[i];
+              RunProgram(prog, e.key, e.value, pn.w_schema, &emitted);
+            }
+            for (auto& [wt, wd] : emitted) {
+              seg[shard_of_w(wt)].emplace_back(std::move(wt),
+                                               std::move(wd));
+            }
+          });
     };
 
     for (size_t i = 0; i < pn.atoms.size(); ++i) {
@@ -1055,16 +1093,20 @@ class ViewTree {
     bool any = false;
     size_t emitted = 0;
     size_t max_bucket = 0;
-    for (const auto& b : buckets) {
-      any |= !b.empty();
-      emitted += b.size();
-      max_bucket = std::max(max_bucket, b.size());
+    std::vector<size_t> shard_sizes(S, 0);
+    for (const EmitSegment& seg : segments) {
+      for (size_t s = 0; s < S; ++s) shard_sizes[s] += seg[s].size();
+    }
+    for (size_t s = 0; s < S; ++s) {
+      any |= shard_sizes[s] != 0;
+      emitted += shard_sizes[s];
+      max_bucket = std::max(max_bucket, shard_sizes[s]);
     }
     if (obs_on) {
       no.tuples_out += emitted;
       const auto& m = detail::ViewTreeMetrics();
-      for (const auto& b : buckets) {
-        m.shard_delta_tuples->Record(static_cast<uint64_t>(b.size()));
+      for (size_t s = 0; s < S; ++s) {
+        m.shard_delta_tuples->Record(static_cast<uint64_t>(shard_sizes[s]));
       }
       if (emitted > 0) {
         // Imbalance ratio max/mean, scaled by 100 (1.0 == perfectly even
@@ -1084,14 +1126,19 @@ class ViewTree {
     std::vector<Relation<R>> m_shards;
     m_shards.reserve(S);
     for (size_t s = 0; s < S; ++s) m_shards.emplace_back(pn.key);
+    // Fused fold: shard s drains its buffer of every segment in segment
+    // order — by construction the sequential emission order restricted to
+    // shard s — straight into W shard s and the shard-local M-delta.
     pool->ParallelFor(S, [&](size_t s) {
       Relation<R>& ws = w.shard(s);
       Relation<R>& md = m_shards[s];
-      md.Reserve(buckets[s].size());
-      for (auto& [wt, wd] : buckets[s]) {
-        ws.Apply(wt, wd);
-        Tuple key(wt.data(), key_size);
-        md.Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+      md.Reserve(shard_sizes[s]);
+      for (EmitSegment& seg : segments) {
+        for (auto& [wt, wd] : seg[s]) {
+          ws.Apply(wt, wd);
+          Tuple key(wt.data(), key_size);
+          md.Apply(key, lift ? R::Mul(wd, lift(wt.back())) : wd);
+        }
       }
     });
     size_t total = 0;
@@ -1159,6 +1206,8 @@ class ViewTree {
   std::vector<NodeObs> node_stats_;
   std::unique_ptr<ThreadPool> pool_;  // null: sequential batch path
   size_t shards_ = 1;
+  // Input bytes per morsel for ByRange sources (see SetMorselBytes).
+  size_t morsel_bytes_ = kDefaultMorselBytes;
   std::unique_ptr<SnapshotCtl> snap_;  // null: exclusive (non-snapshot) mode
   bool stats_muted_ = false;  // true only during catch-up replay
 };

@@ -1,4 +1,5 @@
-// DenseMap: an open-addressing hash map with a dense entry array.
+// DenseMap: a flat open-addressing hash map with a dense entry array and a
+// SwissTable-style group-probing slot table.
 //
 // This is the workhorse container behind relations, views, and indexes. The
 // IVM data-structure contract from paper §2 is exactly its design brief:
@@ -6,24 +7,119 @@
 //   * enumeration of entries with constant delay (dense array scan, no
 //     skipping over empty buckets as in node- or bucket-based maps).
 //
-// Layout: `entries_` is a dense vector of {key, value}; `slots_` is a
-// power-of-two open-addressing table (linear probing) storing indexes into
-// `entries_`, with tombstones for deletions. Erase swap-removes from the
-// dense array and patches the moved entry's slot, so the dense array never
-// has holes. The table is rebuilt when live+tombstone load exceeds 7/8.
+// Layout (three flat arrays; see DESIGN.md "Flat hash core"):
+//
+//   entries_  dense vector of {key, value} — insertion order, swap-remove
+//             on erase, never a hole; enumeration is a linear scan.
+//   hashes_   the full 64-bit hash of each dense entry, cached at insert so
+//             rehashing and swap-remove slot patching never re-hash a key.
+//   ctrl_     one control byte per slot: kEmpty, kDeleted, or the low 7
+//             bits of the entry's hash (its H2 fragment). Probing tests 16
+//             control bytes at a time with one SSE2/NEON compare (scalar
+//             SWAR fallback), so a lookup usually touches one 16-byte
+//             control line plus one key — not a chain of full entries.
+//   slots_    the entry index per slot, consulted only on a control match.
+//
+// The table is a power of two >= 16 slots, organized as aligned 16-slot
+// groups. Probing walks groups in a triangular sequence (g, g+1, g+3, ...),
+// which visits every group exactly once when the group count is a power of
+// two. A probe stops at the first group containing an empty slot — deleted
+// slots (tombstones) keep probe chains alive until a rebuild purges them.
+// The table is rebuilt when live + tombstone load exceeds 7/8 (growing only
+// when live load alone exceeds 1/2).
+//
+// Determinism: the dense order of entries_ after any operation sequence
+// depends only on that sequence (insert appends; erase swap-removes), never
+// on the slot table's layout — snapshot serialization and the parallel
+// batch path rely on this.
 //
 // References returned by Find/GetOrInsert are invalidated by any mutation.
 #ifndef INCR_DATA_DENSE_MAP_H_
 #define INCR_DATA_DENSE_MAP_H_
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#endif
+
 #include "incr/util/check.h"
 
 namespace incr {
+
+namespace detail {
+
+/// A 16-bit mask of matching slots within one 16-slot control group, plus
+/// the one-shot probes that produce it. Bit i set <=> control byte i
+/// matched. Iterate with NextBit.
+struct GroupProbe {
+  static constexpr size_t kWidth = 16;
+
+  /// Slots whose control byte equals `h2` (a 7-bit hash fragment).
+  static inline uint32_t MatchH2(const int8_t* ctrl, int8_t h2) {
+#if defined(__SSE2__)
+    const __m128i g =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ctrl));
+    return static_cast<uint32_t>(
+        _mm_movemask_epi8(_mm_cmpeq_epi8(g, _mm_set1_epi8(h2))));
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+    const uint8x16_t g = vld1q_u8(reinterpret_cast<const uint8_t*>(ctrl));
+    const uint8x16_t eq = vceqq_u8(g, vdupq_n_u8(static_cast<uint8_t>(h2)));
+    // Collapse each byte's MSB into a 16-bit mask (one bit per lane).
+    const uint8x8_t bits = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+    const uint64_t packed = vget_lane_u64(vreinterpret_u64_u8(bits), 0);
+    // Each original byte is now a nibble (0x0 or 0xF); keep one bit each.
+    uint32_t mask = 0;
+    for (int i = 0; i < 16; ++i) {
+      mask |= static_cast<uint32_t>((packed >> (i * 4)) & 1) << i;
+    }
+    return mask;
+#else
+    return MatchByteSwar(ctrl, static_cast<uint8_t>(h2));
+#endif
+  }
+
+  /// Slots whose control byte is kEmpty (0x80). Works because no full slot
+  /// (0..127) and no deleted slot (0xFE) has that exact value.
+  static inline uint32_t MatchEmpty(const int8_t* ctrl, int8_t empty) {
+    return MatchH2(ctrl, empty);
+  }
+
+  /// Index of the lowest set bit; callers guarantee mask != 0.
+  static inline unsigned NextBit(uint32_t mask) {
+    return static_cast<unsigned>(__builtin_ctz(mask));
+  }
+
+ private:
+  // Portable SWAR fallback: classic zero-byte detection over two 64-bit
+  // halves of the group.
+  static inline uint32_t MatchByteSwar(const int8_t* ctrl, uint8_t b) {
+    const uint64_t pattern = 0x0101010101010101ULL * b;
+    uint32_t mask = 0;
+    for (int half = 0; half < 2; ++half) {
+      uint64_t word;
+      std::memcpy(&word, ctrl + half * 8, 8);
+      const uint64_t x = word ^ pattern;
+      const uint64_t zero =
+          (x - 0x0101010101010101ULL) & ~x & 0x8080808080808080ULL;
+      // One bit per matching byte.
+      uint64_t bits = zero >> 7;
+      for (int i = 0; i < 8; ++i) {
+        mask |= static_cast<uint32_t>((bits >> (i * 8)) & 1)
+                << (half * 8 + i);
+      }
+    }
+    return mask;
+  }
+};
+
+}  // namespace detail
 
 template <typename K, typename V, typename Hash = std::hash<K>,
           typename Eq = std::equal_to<K>>
@@ -52,37 +148,42 @@ class DenseMap {
 
   void clear() {
     entries_.clear();
+    hashes_.clear();
     InitTable(kMinCapacity);
     tombstones_ = 0;
   }
 
   void Reserve(size_t n) {
     size_t needed = NextPow2(n * 8 / 7 + 1);
-    if (needed > slots_.size()) Rebuild(needed);
+    if (needed > Capacity()) Rebuild(needed);
     entries_.reserve(n);
+    hashes_.reserve(n);
   }
 
   /// Number of slot-table rebuilds (growth, tombstone purges, and Reserve)
   /// since construction. Feeds the relation rehash counters.
   size_t rehashes() const { return rehashes_; }
 
-  /// Approximate heap footprint in bytes: the dense entry array plus the
-  /// slot table. Out-of-line key/value allocations (e.g. SmallVector spill)
-  /// are not counted; this feeds the snapshot memory gauges, which only
-  /// need the dominant terms.
+  /// Approximate heap footprint in bytes: the dense entry array, the cached
+  /// hashes, and the slot table (control bytes + entry indexes).
+  /// Out-of-line key/value allocations (e.g. SmallVector spill) are not
+  /// counted; this feeds the snapshot memory gauges, which only need the
+  /// dominant terms.
   size_t MemoryBytes() const {
     return entries_.capacity() * sizeof(Entry) +
+           hashes_.capacity() * sizeof(uint64_t) +
+           ctrl_.capacity() * sizeof(int8_t) +
            slots_.capacity() * sizeof(uint32_t);
   }
 
   /// Returns a pointer to the value for `key`, or nullptr.
   V* Find(const K& key) {
-    size_t slot = FindSlot(key);
+    size_t slot = FindSlot(key, hash_(key));
     if (slot == kNoSlot) return nullptr;
     return &entries_[slots_[slot]].value;
   }
   const V* Find(const K& key) const {
-    size_t slot = FindSlot(key);
+    size_t slot = FindSlot(key, hash_(key));
     if (slot == kNoSlot) return nullptr;
     return &entries_[slots_[slot]].value;
   }
@@ -90,54 +191,86 @@ class DenseMap {
   /// Returns the value for `key`, inserting `def` first if absent.
   V& GetOrInsert(const K& key, V def = V{}) {
     MaybeRebuild();
-    uint64_t h = hash_(key);
-    size_t mask = slots_.size() - 1;
-    size_t i = static_cast<size_t>(h) & mask;
-    size_t first_tombstone = kNoSlot;
-    for (;;) {
-      uint32_t s = slots_[i];
-      if (s == kEmpty) {
-        size_t target = first_tombstone != kNoSlot ? first_tombstone : i;
-        if (first_tombstone != kNoSlot) --tombstones_;
+    const uint64_t h = hash_(key);
+    const int8_t h2 = H2(h);
+    const size_t group_mask = NumGroups() - 1;
+    size_t g = H1(h) & group_mask;
+    size_t first_deleted = kNoSlot;
+    for (size_t step = 1;; ++step) {
+      const int8_t* gc = ctrl_.data() + g * kGroupWidth;
+      uint32_t match = detail::GroupProbe::MatchH2(gc, h2);
+      while (match != 0) {
+        const unsigned bit = detail::GroupProbe::NextBit(match);
+        const size_t slot = g * kGroupWidth + bit;
+        if (eq_(entries_[slots_[slot]].key, key)) {
+          return entries_[slots_[slot]].value;
+        }
+        match &= match - 1;
+      }
+      if (first_deleted == kNoSlot) {
+        uint32_t deleted = detail::GroupProbe::MatchH2(gc, kDeleted);
+        if (deleted != 0) {
+          first_deleted =
+              g * kGroupWidth + detail::GroupProbe::NextBit(deleted);
+        }
+      }
+      const uint32_t empty = detail::GroupProbe::MatchEmpty(gc, kEmpty);
+      if (empty != 0) {
+        size_t target;
+        if (first_deleted != kNoSlot) {
+          target = first_deleted;
+          --tombstones_;
+        } else {
+          target = g * kGroupWidth + detail::GroupProbe::NextBit(empty);
+        }
+        ctrl_[target] = h2;
         slots_[target] = static_cast<uint32_t>(entries_.size());
         entries_.push_back(Entry{key, std::move(def)});
+        hashes_.push_back(h);
         return entries_.back().value;
       }
-      if (s == kTombstone) {
-        if (first_tombstone == kNoSlot) first_tombstone = i;
-      } else if (eq_(entries_[s].key, key)) {
-        return entries_[s].value;
-      }
-      i = (i + 1) & mask;
+      g = (g + step) & group_mask;  // triangular: visits every group once
     }
   }
 
   /// Removes `key`. Returns true if it was present.
   bool Erase(const K& key) {
-    size_t slot = FindSlot(key);
+    size_t slot = FindSlot(key, hash_(key));
     if (slot == kNoSlot) return false;
-    uint32_t idx = slots_[slot];
-    slots_[slot] = kTombstone;
+    const uint32_t idx = slots_[slot];
+    ctrl_[slot] = kDeleted;
     ++tombstones_;
-    uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
+    const uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
     if (idx != last) {
       // Swap-remove: move the last dense entry into the hole and repoint
-      // its slot.
-      size_t moved_slot = FindSlot(entries_[last].key);
+      // its slot — found via its cached hash, no key re-hash or compare.
+      const size_t moved_slot = FindSlotOfEntry(last);
       INCR_DCHECK(moved_slot != kNoSlot);
-      INCR_DCHECK(slots_[moved_slot] == last);
       entries_[idx] = std::move(entries_[last]);
+      hashes_[idx] = hashes_[last];
       slots_[moved_slot] = idx;
     }
     entries_.pop_back();
+    hashes_.pop_back();
     return true;
   }
 
  private:
-  static constexpr uint32_t kEmpty = UINT32_MAX;
-  static constexpr uint32_t kTombstone = UINT32_MAX - 1;
+  static constexpr size_t kGroupWidth = detail::GroupProbe::kWidth;
+  // Control byte values. Full slots hold the entry's 7-bit H2 fragment
+  // (0..127, i.e. non-negative); the specials have the sign bit set.
+  static constexpr int8_t kEmpty = static_cast<int8_t>(0x80);    // -128
+  static constexpr int8_t kDeleted = static_cast<int8_t>(0xFE);  // -2
   static constexpr size_t kNoSlot = SIZE_MAX;
-  static constexpr size_t kMinCapacity = 16;
+  static constexpr size_t kMinCapacity = 16;  // one group
+
+  /// Group-selection bits: everything above the 7 H2 bits.
+  static size_t H1(uint64_t h) { return static_cast<size_t>(h >> 7); }
+  /// The 7-bit fragment cached in the control byte.
+  static int8_t H2(uint64_t h) { return static_cast<int8_t>(h & 0x7f); }
+
+  size_t Capacity() const { return ctrl_.size(); }
+  size_t NumGroups() const { return ctrl_.size() / kGroupWidth; }
 
   static size_t NextPow2(size_t n) {
     size_t p = kMinCapacity;
@@ -146,18 +279,48 @@ class DenseMap {
   }
 
   void InitTable(size_t capacity) {
-    slots_.assign(capacity, kEmpty);
+    ctrl_.assign(capacity, kEmpty);
+    slots_.assign(capacity, 0);
   }
 
-  size_t FindSlot(const K& key) const {
-    uint64_t h = hash_(key);
-    size_t mask = slots_.size() - 1;
-    size_t i = static_cast<size_t>(h) & mask;
-    for (;;) {
-      uint32_t s = slots_[i];
-      if (s == kEmpty) return kNoSlot;
-      if (s != kTombstone && eq_(entries_[s].key, key)) return i;
-      i = (i + 1) & mask;
+  /// Probe shared by Find and Erase: the slot holding `key`, or kNoSlot.
+  size_t FindSlot(const K& key, uint64_t h) const {
+    const int8_t h2 = H2(h);
+    const size_t group_mask = NumGroups() - 1;
+    size_t g = H1(h) & group_mask;
+    for (size_t step = 1;; ++step) {
+      const int8_t* gc = ctrl_.data() + g * kGroupWidth;
+      uint32_t match = detail::GroupProbe::MatchH2(gc, h2);
+      while (match != 0) {
+        const unsigned bit = detail::GroupProbe::NextBit(match);
+        const size_t slot = g * kGroupWidth + bit;
+        if (eq_(entries_[slots_[slot]].key, key)) return slot;
+        match &= match - 1;
+      }
+      if (detail::GroupProbe::MatchEmpty(gc, kEmpty) != 0) return kNoSlot;
+      g = (g + step) & group_mask;
+    }
+  }
+
+  /// The slot pointing at dense entry `idx`, located by its cached hash —
+  /// compares slot values instead of keys, so moved-entry patching during
+  /// swap-remove costs one probe chain and zero key operations.
+  size_t FindSlotOfEntry(uint32_t idx) const {
+    const uint64_t h = hashes_[idx];
+    const int8_t h2 = H2(h);
+    const size_t group_mask = NumGroups() - 1;
+    size_t g = H1(h) & group_mask;
+    for (size_t step = 1;; ++step) {
+      const int8_t* gc = ctrl_.data() + g * kGroupWidth;
+      uint32_t match = detail::GroupProbe::MatchH2(gc, h2);
+      while (match != 0) {
+        const unsigned bit = detail::GroupProbe::NextBit(match);
+        const size_t slot = g * kGroupWidth + bit;
+        if (slots_[slot] == idx) return slot;
+        match &= match - 1;
+      }
+      if (detail::GroupProbe::MatchEmpty(gc, kEmpty) != 0) return kNoSlot;
+      g = (g + step) & group_mask;
     }
   }
 
@@ -165,26 +328,40 @@ class DenseMap {
     // Keep live + tombstone load under 7/8; grow only if live load alone
     // exceeds 1/2, otherwise rebuild at the same size to purge tombstones.
     size_t used = entries_.size() + tombstones_ + 1;
-    if (used * 8 < slots_.size() * 7) return;
-    size_t cap = slots_.size();
+    if (used * 8 < Capacity() * 7) return;
+    size_t cap = Capacity();
     if ((entries_.size() + 1) * 2 >= cap) cap <<= 1;
     Rebuild(cap);
   }
 
   void Rebuild(size_t capacity) {
     ++rehashes_;
-    slots_.assign(capacity, kEmpty);
+    InitTable(capacity);
     tombstones_ = 0;
-    size_t mask = capacity - 1;
+    const size_t group_mask = capacity / kGroupWidth - 1;
     for (uint32_t idx = 0; idx < entries_.size(); ++idx) {
-      size_t i = static_cast<size_t>(hash_(entries_[idx].key)) & mask;
-      while (slots_[i] != kEmpty) i = (i + 1) & mask;
-      slots_[i] = idx;
+      // Cached hash: a rebuild never re-hashes a key.
+      const uint64_t h = hashes_[idx];
+      size_t g = H1(h) & group_mask;
+      for (size_t step = 1;; ++step) {
+        const int8_t* gc = ctrl_.data() + g * kGroupWidth;
+        const uint32_t empty = detail::GroupProbe::MatchEmpty(gc, kEmpty);
+        if (empty != 0) {
+          const size_t slot =
+              g * kGroupWidth + detail::GroupProbe::NextBit(empty);
+          ctrl_[slot] = H2(h);
+          slots_[slot] = idx;
+          break;
+        }
+        g = (g + step) & group_mask;
+      }
     }
   }
 
   std::vector<Entry> entries_;
-  std::vector<uint32_t> slots_;
+  std::vector<uint64_t> hashes_;  // full hash per dense entry (same order)
+  std::vector<int8_t> ctrl_;      // one control byte per slot
+  std::vector<uint32_t> slots_;   // entry index per slot
   size_t tombstones_ = 0;
   size_t rehashes_ = 0;
   [[no_unique_address]] Hash hash_{};

@@ -51,6 +51,12 @@ EngineOptions EngineOptions::FromEnv() {
       opts.shards = static_cast<size_t>(v);
     }
   }
+  if (const char* env = std::getenv("INCR_MORSEL_BYTES")) {
+    if (ParseEnvInt("INCR_MORSEL_BYTES", env, 0,
+                    static_cast<long long>(kMaxMorselBytes), &v)) {
+      opts.morsel_bytes = static_cast<size_t>(v);
+    }
+  }
   if (const char* env = std::getenv("INCR_OBS")) {
     opts.obs = !EnvFlagOff(env);
   }

@@ -23,6 +23,12 @@ struct EngineOptions {
   /// (INCR_SHARDS, default 16). Ignored when threads resolve to 1.
   size_t shards = 0;
 
+  /// Morsel granularity of the parallel batch path: bytes of input delta
+  /// entries per work-stealing morsel (ViewTree::SetMorselBytes). 0 = the
+  /// built-in cache-sized default. Scheduling only — results are
+  /// bit-identical at every value. Ignored when threads resolve to 1.
+  size_t morsel_bytes = 0;
+
   /// Force observability on/off; unset leaves the process-level setting
   /// (INCR_OBS / obs::SetEnabled) untouched.
   std::optional<bool> obs;
@@ -64,9 +70,9 @@ struct EngineOptions {
   /// max_retained_epochs + 1 copies of the view state.
   size_t max_retained_epochs = 3;
 
-  /// Reads the INCR_THREADS / INCR_SHARDS / INCR_OBS / INCR_FSYNC /
-  /// INCR_WAL_BUFFER_BYTES / INCR_GROUP_COMMIT_US / INCR_SNAPSHOT_READS /
-  /// INCR_MAX_RETAINED_EPOCHS environment variables
+  /// Reads the INCR_THREADS / INCR_SHARDS / INCR_MORSEL_BYTES / INCR_OBS /
+  /// INCR_FSYNC / INCR_WAL_BUFFER_BYTES / INCR_GROUP_COMMIT_US /
+  /// INCR_SNAPSHOT_READS / INCR_MAX_RETAINED_EPOCHS environment variables
   /// into an options struct — the bridge from the pre-EngineOptions
   /// configuration surface. Unset variables keep the defaults above;
   /// malformed or out-of-range values are ignored with a one-line warning
@@ -79,6 +85,7 @@ struct EngineOptions {
   // to police reasonable configurations.
   static constexpr size_t kMaxThreads = 1024;
   static constexpr size_t kMaxShards = 1 << 16;
+  static constexpr size_t kMaxMorselBytes = size_t{1} << 30;  // 1 GiB
   static constexpr size_t kMaxWalBufferBytes = size_t{1} << 30;  // 1 GiB
   static constexpr uint32_t kMaxGroupCommitUs = 60 * 1000 * 1000;  // 1 min
   static constexpr size_t kMaxRetainedEpochs = 1 << 20;

@@ -68,6 +68,7 @@ class MixedStaticDynamicEngine : public IvmEngine<R> {
   void Configure(const EngineOptions& opts) override {
     if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
     tree_.SetThreads(opts.threads, opts.shards);
+    tree_.SetMorselBytes(opts.morsel_bytes);
     if (opts.snapshot_reads) {
       tree_.EnableSnapshots(opts.max_retained_epochs);
     }

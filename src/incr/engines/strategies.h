@@ -119,6 +119,7 @@ class EagerFactStrategy : public IvmStrategy<R> {
   void Configure(const EngineOptions& opts) override {
     if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
     tree_.SetThreads(opts.threads, opts.shards);
+    tree_.SetMorselBytes(opts.morsel_bytes);
   }
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
@@ -248,6 +249,7 @@ class LazyFactStrategy : public IvmStrategy<R> {
   void Configure(const EngineOptions& opts) override {
     if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
     tree_.SetThreads(opts.threads, opts.shards);
+    tree_.SetMorselBytes(opts.morsel_bytes);
   }
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }
@@ -316,6 +318,7 @@ class LazyListStrategy : public IvmStrategy<R> {
   void Configure(const EngineOptions& opts) override {
     if (opts.obs.has_value()) obs::SetEnabled(*opts.obs);
     tree_.SetThreads(opts.threads, opts.shards);
+    tree_.SetMorselBytes(opts.morsel_bytes);
   }
 
   void SetThreads(size_t threads) override { tree_.SetThreads(threads); }

@@ -1,5 +1,6 @@
 #include "incr/util/thread_pool.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "incr/obs/metrics.h"
@@ -16,6 +17,7 @@ struct PoolMetrics {
   obs::Counter* tasks;
   obs::Counter* caller_tasks;
   obs::Counter* stolen_tasks;
+  obs::Counter* steal_fail;
   obs::Histogram* job_ns;
   obs::Histogram* task_ns;
   obs::Histogram* wake_ns;
@@ -29,6 +31,7 @@ const PoolMetrics& Metrics() {
         r.GetCounter("threadpool.tasks"),
         r.GetCounter("threadpool.caller_tasks"),
         r.GetCounter("threadpool.stolen_tasks"),
+        r.GetCounter("pool.steal_fail"),
         r.GetHistogram("threadpool.job_ns"),
         r.GetHistogram("threadpool.task_ns"),
         r.GetHistogram("threadpool.wake_ns"),
@@ -37,10 +40,24 @@ const PoolMetrics& Metrics() {
   return m;
 }
 
+// How many relaxed polls a worker makes for a fresh job before parking on
+// the condition variable. Bounds the idle burn to a few microseconds while
+// letting back-to-back batches skip the futex round trip.
+constexpr int kIdleSpins = 256;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = DefaultThreads();
+  ranges_ = std::vector<MorselRange>(num_threads);
   workers_.reserve(num_threads - 1);
   for (size_t i = 0; i + 1 < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -51,6 +68,7 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    stop_hint_.store(true, std::memory_order_release);
   }
   wake_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
@@ -81,7 +99,8 @@ void ThreadPool::ParallelFor(size_t n,
     // that woke for the previous job but has not yet re-parked — it may
     // still hold pointers to the old job state we are about to overwrite.
     idle_cv_.wait(lock, [this] {
-      return job_fn_ == nullptr && active_workers_ == 0;
+      return job_fn_ == nullptr && morsel_fn_ == nullptr &&
+             active_workers_ == 0;
     });
     job_fn_ = &fn;
     job_n_ = n;
@@ -92,6 +111,7 @@ void ThreadPool::ParallelFor(size_t n,
     job_submit_ns_.store(obs_on ? obs::NowNs() : 0,
                          std::memory_order_relaxed);
     ++epoch_;
+    epoch_hint_.store(epoch_, std::memory_order_release);
   }
   wake_cv_.notify_all();
   size_t mine = RunTasks(&fn, n);  // the calling thread participates
@@ -103,6 +123,81 @@ void ThreadPool::ParallelFor(size_t n,
       return pending_.load(std::memory_order_acquire) == 0;
     });
     job_fn_ = nullptr;
+    err = job_error_;
+    job_error_ = nullptr;
+  }
+  idle_cv_.notify_all();
+  if (obs_on) Metrics().job_ns->Record(obs::NowNs() - job_start);
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::ParallelMorsels(
+    size_t n, size_t morsel, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (morsel == 0 || morsel > n) morsel = n;
+  const size_t num_morsels = (n + morsel - 1) / morsel;
+  const bool obs_on = obs::Enabled();
+  obs::TraceSpan span("threadpool.parallel_morsels");
+  span.AddArg("n", static_cast<uint64_t>(n));
+  span.AddArg("morsels", static_cast<uint64_t>(num_morsels));
+  const uint64_t job_start = obs_on ? obs::NowNs() : 0;
+  if (obs_on) {
+    Metrics().jobs->Inc();
+    Metrics().tasks->Add(num_morsels);
+  }
+  if (workers_.empty() || num_morsels == 1) {
+    // Degenerate path: no ranges, no atomics — an inline sweep of the
+    // same grid, so per-morsel callback boundaries are unchanged.
+    for (size_t m = 0; m < num_morsels; ++m) {
+      fn(m * morsel, std::min((m + 1) * morsel, n));
+    }
+    if (obs_on) {
+      Metrics().caller_tasks->Add(num_morsels);
+      Metrics().job_ns->Record(obs::NowNs() - job_start);
+    }
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] {
+      return job_fn_ == nullptr && morsel_fn_ == nullptr &&
+             active_workers_ == 0;
+    });
+    morsel_fn_ = &fn;
+    morsel_n_ = n;
+    morsel_size_ = morsel;
+    // Carve the fixed grid into one contiguous home range per thread
+    // slot. The grid itself never moves — ranges only decide which thread
+    // *starts* where; stealing rebalances the rest.
+    const size_t nslots = ranges_.size();
+    const size_t base = num_morsels / nslots;
+    const size_t rem = num_morsels % nslots;
+    size_t at = 0;
+    for (size_t t = 0; t < nslots; ++t) {
+      const size_t take = base + (t < rem ? 1 : 0);
+      ranges_[t].next.store(at, std::memory_order_relaxed);
+      ranges_[t].end = at + take;
+      at += take;
+    }
+    join_slot_.store(1, std::memory_order_relaxed);  // caller takes slot 0
+    job_error_ = nullptr;
+    job_failed_.store(false, std::memory_order_relaxed);
+    pending_.store(num_morsels, std::memory_order_relaxed);
+    job_submit_ns_.store(obs_on ? obs::NowNs() : 0,
+                         std::memory_order_relaxed);
+    ++epoch_;
+    epoch_hint_.store(epoch_, std::memory_order_release);
+  }
+  wake_cv_.notify_all();
+  size_t mine = RunMorsels(&fn, n, morsel, 0);
+  if (obs_on) Metrics().caller_tasks->Add(mine);
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+    morsel_fn_ = nullptr;
     err = job_error_;
     job_error_ = nullptr;
   }
@@ -144,17 +239,79 @@ size_t ThreadPool::RunTasks(const std::function<void(size_t)>* fn,
   }
 }
 
+size_t ThreadPool::RunMorsels(const std::function<void(size_t, size_t)>* fn,
+                              size_t n, size_t morsel, size_t slot) {
+  const bool obs_on = obs::Enabled();
+  const size_t nslots = ranges_.size();
+  size_t executed = 0;
+  uint64_t steal_fails = 0;
+  // Drain the home range (offset 0), then sweep every other range once.
+  // A range that turns up empty advances the sweep; a successful claim
+  // keeps the thread on that range until it too drains. One full failed
+  // sweep == the steal budget is spent and the thread leaves the job.
+  size_t offset = 0;
+  while (offset < nslots) {
+    MorselRange& r = ranges_[(slot + offset) % nslots];
+    const size_t m = r.next.fetch_add(1, std::memory_order_relaxed);
+    if (m >= r.end) {
+      if (offset > 0) ++steal_fails;  // a steal probe that found nothing
+      ++offset;
+      continue;
+    }
+    const size_t begin = m * morsel;
+    const size_t end = std::min(begin + morsel, n);
+    // Same fail-fast contract as RunTasks: after an exception, claimed
+    // morsels are skipped but still drain pending_.
+    if (!job_failed_.load(std::memory_order_acquire)) {
+      try {
+        if (obs_on) {
+          const uint64_t t0 = obs::NowNs();
+          (*fn)(begin, end);
+          Metrics().task_ns->Record(obs::NowNs() - t0);
+        } else {
+          (*fn)(begin, end);
+        }
+        ++executed;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job_error_) job_error_ = std::current_exception();
+        job_failed_.store(true, std::memory_order_release);
+      }
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+  if (obs_on && steal_fails > 0) Metrics().steal_fail->Add(steal_fails);
+  return executed;
+}
+
 void ThreadPool::WorkerLoop() {
   size_t seen_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    wake_cv_.wait(lock,
-                  [&] { return stop_ || epoch_ != seen_epoch; });
+    // Spin-then-park: poll the lock-free epoch mirror for a few hundred
+    // pause cycles so a batch train keeps workers hot, then fall back to
+    // the condition variable so an idle pool burns no core.
+    for (int i = 0; i < kIdleSpins; ++i) {
+      if (stop_hint_.load(std::memory_order_relaxed) ||
+          epoch_hint_.load(std::memory_order_acquire) != seen_epoch) {
+        break;
+      }
+      CpuRelax();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    wake_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
     if (stop_) return;
     seen_epoch = epoch_;
     const std::function<void(size_t)>* fn = job_fn_;
+    const std::function<void(size_t, size_t)>* mfn = morsel_fn_;
     size_t n = job_n_;
-    if (fn == nullptr) continue;  // job already finished and was cleared
+    size_t mn = morsel_n_;
+    size_t msize = morsel_size_;
+    if (fn == nullptr && mfn == nullptr) {
+      continue;  // job already finished and was cleared
+    }
     const uint64_t submit_ns = job_submit_ns_.load(std::memory_order_relaxed);
     ++active_workers_;
     lock.unlock();
@@ -162,12 +319,20 @@ void ThreadPool::WorkerLoop() {
       const uint64_t now = obs::NowNs();
       if (now > submit_ns) Metrics().wake_ns->Record(now - submit_ns);
     }
-    size_t executed = RunTasks(fn, n);
+    size_t executed;
+    if (mfn != nullptr) {
+      const size_t slot =
+          join_slot_.fetch_add(1, std::memory_order_relaxed) % ranges_.size();
+      executed = RunMorsels(mfn, mn, msize, slot);
+    } else {
+      executed = RunTasks(fn, n);
+    }
     if (executed > 0 && obs::Enabled()) {
       Metrics().stolen_tasks->Add(executed);
     }
     lock.lock();
     if (--active_workers_ == 0) idle_cv_.notify_all();
+    lock.unlock();
   }
 }
 

@@ -61,6 +61,21 @@ class ThreadPool {
   /// and the first exception is rethrown here after the job drains.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Morsel-driven parallel loop over [0, n): fn(begin, end) is invoked
+  /// exactly once per cell of the fixed morsel grid — cell m covers
+  /// [m*morsel, min((m+1)*morsel, n)). The grid depends only on n and
+  /// morsel, never on the thread count, so callers that index per-morsel
+  /// output buffers by begin/morsel get layouts invariant under
+  /// scheduling. Each thread drains a contiguous home range of the grid
+  /// (one atomic claim per morsel), then sweeps the other threads' ranges
+  /// once to steal leftovers; a thread leaves the job after one full
+  /// failed sweep (the bounded steal budget — failed probes are counted
+  /// in `pool.steal_fail`). Same blocking, participation, and fail-fast
+  /// exception contract as ParallelFor. With a single-thread pool (or a
+  /// single morsel) this is a plain inline loop with no shared state.
+  void ParallelMorsels(size_t n, size_t morsel,
+                       const std::function<void(size_t, size_t)>& fn);
+
   /// The thread count used when a knob is 0: the INCR_THREADS environment
   /// variable if set to a positive integer, else hardware_concurrency().
   static size_t DefaultThreads();
@@ -71,10 +86,22 @@ class ThreadPool {
   static ThreadPool* Global();
 
  private:
+  // One thread's home range of unclaimed morsel-grid cells. Each lives on
+  // its own cache line so a thread's claims never ping-pong a line shared
+  // with another thread's range.
+  struct alignas(64) MorselRange {
+    std::atomic<size_t> next{0};  // next unclaimed grid cell
+    size_t end = 0;               // one past the last cell of this range
+  };
+
   void WorkerLoop();
   // Claims and runs tasks until the job is drained; returns how many this
   // thread executed (fed into the caller/stolen task counters).
   size_t RunTasks(const std::function<void(size_t)>* fn, size_t n);
+  // Morsel-job counterpart: drains the home range at `slot`, then sweeps
+  // the other ranges once; returns how many morsels this thread executed.
+  size_t RunMorsels(const std::function<void(size_t, size_t)>* fn, size_t n,
+                    size_t morsel, size_t slot);
 
   std::vector<std::thread> workers_;
 
@@ -83,14 +110,24 @@ class ThreadPool {
   std::condition_variable done_cv_;   // ParallelFor waits here for pending_
   std::condition_variable idle_cv_;   // next job waits for stragglers
   const std::function<void(size_t)>* job_fn_ = nullptr;  // guarded by mu_
+  // Current morsel job, exclusive with job_fn_; all guarded by mu_.
+  const std::function<void(size_t, size_t)>* morsel_fn_ = nullptr;
+  size_t morsel_n_ = 0;
+  size_t morsel_size_ = 0;
   size_t job_n_ = 0;                                     // guarded by mu_
   size_t epoch_ = 0;                                     // guarded by mu_
   size_t active_workers_ = 0;                            // guarded by mu_
   bool stop_ = false;                                    // guarded by mu_
   std::exception_ptr job_error_;    // first task exception; guarded by mu_
+  std::vector<MorselRange> ranges_;  // one home range per thread slot
+  std::atomic<size_t> join_slot_{0};  // next home-range slot to hand out
   std::atomic<size_t> next_{0};     // next unclaimed index of the job
   std::atomic<size_t> pending_{0};  // tasks not yet finished
   std::atomic<bool> job_failed_{false};  // fail-fast flag for this job
+  // Lock-free mirrors of epoch_/stop_ for the bounded pre-park spin in
+  // WorkerLoop (the CV wait under mu_ remains the source of truth).
+  std::atomic<size_t> epoch_hint_{0};
+  std::atomic<bool> stop_hint_{false};
   // Submission timestamp of the current job (obs::NowNs), 0 when metrics
   // are off — lets woken workers report their wake latency.
   std::atomic<uint64_t> job_submit_ns_{0};

@@ -97,6 +97,203 @@ TEST(DenseMapTest, ReserveDoesNotLoseEntries) {
   for (int64_t i = 0; i < 10; ++i) ASSERT_NE(m.Find(i), nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial probing: hash functors chosen to break the group-probing
+// slot table — every key in one probe chain, false-positive control
+// matches, tombstone-saturated chains.
+
+// Every key lands in group 0 with H2 fragment 0: inserts form one long
+// probe chain across consecutive groups, and every lookup walks it.
+struct CollidingHash {
+  size_t operator()(int64_t) const { return 0; }
+};
+
+// Two hash values that share H1 (group index) but differ in H2 only in the
+// lowest bit: control-byte matches hit the wrong key's slots constantly,
+// and the full key compare must reject them.
+struct TwoFragmentHash {
+  size_t operator()(int64_t k) const { return static_cast<size_t>(k) & 1; }
+};
+
+TEST(DenseMapAdversarialTest, CollidingHashChainStaysCorrect) {
+  DenseMap<int64_t, int64_t, CollidingHash> m;
+  for (int64_t i = 0; i < 500; ++i) m.GetOrInsert(i, i * 3);
+  EXPECT_EQ(m.size(), 500u);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), i * 3);
+  }
+  EXPECT_EQ(m.Find(500), nullptr);  // full-chain walk ending in "absent"
+  for (int64_t i = 0; i < 500; i += 2) ASSERT_TRUE(m.Erase(i));
+  for (int64_t i = 0; i < 500; ++i) {
+    if (i % 2 == 0) {
+      ASSERT_EQ(m.Find(i), nullptr) << i;
+    } else {
+      ASSERT_NE(m.Find(i), nullptr) << i;
+      EXPECT_EQ(*m.Find(i), i * 3);
+    }
+  }
+  EXPECT_EQ(m.size(), 250u);
+}
+
+TEST(DenseMapAdversarialTest, FalsePositiveControlMatchesAreRejected) {
+  Rng rng(77);
+  DenseMap<int64_t, int64_t, TwoFragmentHash> m;
+  std::unordered_map<int64_t, int64_t> oracle;
+  for (int step = 0; step < 5000; ++step) {
+    int64_t key = rng.UniformInt(0, 99);
+    if (rng.Chance(0.6)) {
+      int64_t val = rng.UniformInt(-50, 50);
+      m.GetOrInsert(key, 0) = val;
+      oracle[key] = val;
+    } else {
+      ASSERT_EQ(m.Erase(key), oracle.erase(key) > 0);
+    }
+    ASSERT_EQ(m.size(), oracle.size());
+  }
+  for (const auto& [key, val] : oracle) {
+    ASSERT_NE(m.Find(key), nullptr) << key;
+    ASSERT_EQ(*m.Find(key), val);
+  }
+}
+
+TEST(DenseMapAdversarialTest, TombstoneChurnTriggersPurgeNotUnboundedGrowth) {
+  // Steady-state size, but each round's keys live in fresh home groups, so
+  // the previous round's tombstones are never on a new insert's probe path
+  // and cannot be reused in place — they pile up until load crosses 7/8
+  // and a same-size purge rebuild collects them. The table must keep
+  // answering correctly and must not grow without bound.
+  DenseMap<int64_t, int64_t> m;
+  for (int64_t i = 0; i < 100; ++i) m.GetOrInsert(i, i);
+  const size_t baseline = m.MemoryBytes();
+  const size_t rehashes_before = m.rehashes();
+  for (int64_t round = 1; round <= 100; ++round) {
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(m.Erase((round - 1) * 100000 + i));
+      m.GetOrInsert(round * 100000 + i, i);
+    }
+    ASSERT_EQ(m.size(), 100u);
+  }
+  EXPECT_GT(m.rehashes(), rehashes_before);  // churn forced purge rebuilds
+  EXPECT_LE(m.MemoryBytes(), baseline * 4);  // purged, not grown 100x
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_NE(m.Find(100 * 100000 + i), nullptr) << i;
+    EXPECT_EQ(*m.Find(100 * 100000 + i), i);
+  }
+}
+
+TEST(DenseMapAdversarialTest, TombstonesOnTheProbeChainAreReusedInPlace) {
+  // The mirror image: with every key in ONE probe chain, an insert always
+  // walks past the freshest tombstone and must reuse it — 1:1 erase/insert
+  // churn then needs no rebuild at all, and the table stays at its size.
+  DenseMap<int64_t, int64_t, CollidingHash> m;
+  for (int64_t i = 0; i < 64; ++i) m.GetOrInsert(i, i);
+  const size_t baseline = m.MemoryBytes();
+  const size_t rehashes_before = m.rehashes();
+  for (int64_t round = 1; round <= 200; ++round) {
+    for (int64_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(m.Erase((round - 1) * 64 + i));
+      m.GetOrInsert(round * 64 + i, i);
+    }
+    ASSERT_EQ(m.size(), 64u);
+  }
+  EXPECT_EQ(m.rehashes(), rehashes_before);  // every tombstone reused
+  EXPECT_EQ(m.MemoryBytes(), baseline);
+  for (int64_t i = 0; i < 64; ++i) {
+    ASSERT_NE(m.Find(200 * 64 + i), nullptr) << i;
+    EXPECT_EQ(*m.Find(200 * 64 + i), i);
+  }
+}
+
+TEST(DenseMapAdversarialTest, EraseDuringHighLoadKeepsChainsReachable) {
+  // Drive the table to its load ceiling, then erase from the middle of
+  // long chains while inserting replacements — tombstones must keep probe
+  // chains alive for keys displaced past them.
+  DenseMap<int64_t, int64_t, CollidingHash> m;
+  m.Reserve(256);
+  const size_t cap_before = m.MemoryBytes();
+  for (int64_t i = 0; i < 200; ++i) m.GetOrInsert(i, i);
+  EXPECT_EQ(m.MemoryBytes(), cap_before);  // still within the reservation
+  Rng rng(78);
+  std::unordered_map<int64_t, int64_t> oracle;
+  for (int64_t i = 0; i < 200; ++i) oracle[i] = i;
+  for (int step = 0; step < 2000; ++step) {
+    // Erase one resident key, insert one fresh key: stays at the ceiling.
+    int64_t victim = rng.UniformInt(0, 10000);
+    auto it = oracle.find(victim);
+    if (it != oracle.end()) {
+      ASSERT_TRUE(m.Erase(victim));
+      oracle.erase(it);
+      int64_t fresh = 10001 + step;
+      m.GetOrInsert(fresh, -fresh);
+      oracle[fresh] = -fresh;
+    } else {
+      ASSERT_EQ(m.Find(victim) != nullptr, false) << victim;
+    }
+  }
+  ASSERT_EQ(m.size(), oracle.size());
+  for (const auto& [key, val] : oracle) {
+    ASSERT_NE(m.Find(key), nullptr) << key;
+    ASSERT_EQ(*m.Find(key), val);
+  }
+}
+
+TEST(DenseMapAdversarialTest, DeepCopyIsIndependentAndEqual) {
+  DenseMap<Tuple, int64_t, TupleHash, TupleEq> m;
+  for (int64_t i = 0; i < 300; ++i) m.GetOrInsert(Tuple{i, i % 7}, i);
+  for (int64_t i = 0; i < 100; ++i) m.Erase(Tuple{i * 3, (i * 3) % 7});
+  DenseMap<Tuple, int64_t, TupleHash, TupleEq> copy = m;
+  // Same contents, same dense enumeration order.
+  ASSERT_EQ(copy.size(), m.size());
+  auto it = copy.begin();
+  for (const auto& e : m) {
+    ASSERT_EQ(it->key, e.key);
+    ASSERT_EQ(it->value, e.value);
+    ++it;
+  }
+  // The copy's slot table must be self-consistent, not aliased: mutate the
+  // original heavily and re-check the copy.
+  DenseMap<Tuple, int64_t, TupleHash, TupleEq> snapshot = copy;
+  for (int64_t i = 0; i < 300; ++i) m.Erase(Tuple{i, i % 7});
+  ASSERT_TRUE(m.empty());
+  ASSERT_EQ(copy.size(), snapshot.size());
+  for (const auto& e : snapshot) {
+    ASSERT_NE(copy.Find(e.key), nullptr);
+    ASSERT_EQ(*copy.Find(e.key), e.value);
+  }
+  // And the copy keeps working as a live map (erase through its own slots).
+  size_t live = copy.size();
+  for (const auto& e : snapshot) {
+    ASSERT_TRUE(copy.Erase(e.key));
+    ASSERT_EQ(copy.size(), --live);
+  }
+  EXPECT_TRUE(copy.empty());
+}
+
+TEST(DenseMapAdversarialTest, GoldenEnumerationOrderIsDenseArrayOrder) {
+  // Snapshot serialization depends on enumeration being exactly the dense
+  // array: insertion order with swap-remove holes. Golden sequence check.
+  DenseMap<int64_t, int64_t> m;
+  auto order = [&] {
+    std::vector<int64_t> keys;
+    for (const auto& e : m) keys.push_back(e.key);
+    return keys;
+  };
+  for (int64_t i = 0; i < 10; ++i) m.GetOrInsert(i, i);
+  EXPECT_EQ(order(), (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  m.Erase(3);  // last entry (9) moves into slot 3
+  EXPECT_EQ(order(), (std::vector<int64_t>{0, 1, 2, 9, 4, 5, 6, 7, 8}));
+  m.Erase(0);  // last entry (8) moves into slot 0
+  EXPECT_EQ(order(), (std::vector<int64_t>{8, 1, 2, 9, 4, 5, 6, 7}));
+  m.GetOrInsert(10, 10);  // appends
+  EXPECT_EQ(order(), (std::vector<int64_t>{8, 1, 2, 9, 4, 5, 6, 7, 10}));
+  m.Erase(7);  // last entry (10) moves into its place
+  EXPECT_EQ(order(), (std::vector<int64_t>{8, 1, 2, 9, 4, 5, 6, 10}));
+  // Rehashing reorders slots, never the dense array.
+  m.Reserve(100000);
+  EXPECT_EQ(order(), (std::vector<int64_t>{8, 1, 2, 9, 4, 5, 6, 10}));
+}
+
 // Property test: random streams of insert/update/erase against an oracle.
 class DenseMapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

@@ -14,8 +14,9 @@ namespace incr {
 namespace {
 
 const char* const kAllVars[] = {
-    "INCR_THREADS",    "INCR_SHARDS",           "INCR_OBS",
-    "INCR_FSYNC",      "INCR_WAL_BUFFER_BYTES", "INCR_GROUP_COMMIT_US",
+    "INCR_THREADS",    "INCR_SHARDS",           "INCR_MORSEL_BYTES",
+    "INCR_OBS",        "INCR_FSYNC",            "INCR_WAL_BUFFER_BYTES",
+    "INCR_GROUP_COMMIT_US",
 };
 
 // Clears every FromEnv variable around each test so cases are independent
@@ -44,6 +45,7 @@ TEST_F(EngineOptionsEnvTest, UnsetEnvironmentYieldsDefaults) {
 TEST_F(EngineOptionsEnvTest, ValidValuesAreApplied) {
   setenv("INCR_THREADS", "8", 1);
   setenv("INCR_SHARDS", "32", 1);
+  setenv("INCR_MORSEL_BYTES", "4096", 1);
   setenv("INCR_WAL_BUFFER_BYTES", "65536", 1);
   setenv("INCR_GROUP_COMMIT_US", "0", 1);
   setenv("INCR_FSYNC", "off", 1);
@@ -51,6 +53,7 @@ TEST_F(EngineOptionsEnvTest, ValidValuesAreApplied) {
   EngineOptions opts = EngineOptions::FromEnv();
   EXPECT_EQ(opts.threads, 8u);
   EXPECT_EQ(opts.shards, 32u);
+  EXPECT_EQ(opts.morsel_bytes, 4096u);
   EXPECT_EQ(opts.wal_buffer_bytes, 65536u);
   EXPECT_EQ(opts.group_commit_window_us, 0u);
   EXPECT_FALSE(opts.fsync);
@@ -97,6 +100,8 @@ TEST_F(EngineOptionsEnvTest, OutOfRangeValuesFallBackToDefaults) {
       {"INCR_WAL_BUFFER_BYTES", "99999999999999999"},
       {"INCR_GROUP_COMMIT_US", "-5"},
       {"INCR_GROUP_COMMIT_US", "999999999999"},  // ~11.6 days
+      {"INCR_MORSEL_BYTES", "-1"},
+      {"INCR_MORSEL_BYTES", "99999999999999999"},
   };
   for (const Case& c : cases) {
     ClearAll();
@@ -105,6 +110,8 @@ TEST_F(EngineOptionsEnvTest, OutOfRangeValuesFallBackToDefaults) {
     EXPECT_EQ(opts.threads, defaults.threads)
         << c.var << "=" << c.value;
     EXPECT_EQ(opts.shards, defaults.shards) << c.var << "=" << c.value;
+    EXPECT_EQ(opts.morsel_bytes, defaults.morsel_bytes)
+        << c.var << "=" << c.value;
     EXPECT_EQ(opts.wal_buffer_bytes, defaults.wal_buffer_bytes)
         << c.var << "=" << c.value;
     EXPECT_EQ(opts.group_commit_window_us, defaults.group_commit_window_us)

@@ -4,6 +4,11 @@
 // count (results must not depend on threads; shard partition is fixed).
 #include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -85,6 +90,105 @@ TEST(ThreadPoolTest, FewerTasksThanThreads) {
   });
   for (size_t i = 0; i < 3; ++i) ASSERT_EQ(counts[i].load(), 1);
   pool.ParallelFor(0, [&](size_t) { FAIL() << "n == 0 must run nothing"; });
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::ParallelMorsels — the work-stealing morsel scheduler. Suite
+// name carries "Morsel" so the TSan CI pass picks it up.
+
+TEST(ThreadPoolMorselTest, CoversEveryIndexOnTheFixedGrid) {
+  ThreadPool pool(4);
+  const size_t n = 10000;
+  const size_t morsel = 7;
+  std::vector<std::atomic<int>> counts(n);
+  pool.ParallelMorsels(n, morsel, [&](size_t begin, size_t end) {
+    // Cells always sit on the fixed grid, never merged or split.
+    EXPECT_EQ(begin % morsel, 0u);
+    EXPECT_EQ(end, std::min(begin + morsel, n));
+    for (size_t i = begin; i < end; ++i) {
+      counts[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolMorselTest, GridIsIndependentOfThreadCount) {
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<size_t, size_t>> cells;
+    pool.ParallelMorsels(103, 10, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      cells.emplace(begin, end);
+    });
+    return cells;
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one.size(), 11u);  // ceil(103 / 10)
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(4));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(ThreadPoolMorselTest, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t sum = 0;  // safe unsynchronized: everything runs on this thread
+  pool.ParallelMorsels(100, 9, [&](size_t begin, size_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolMorselTest, SingleMorselRunsInlineEvenWithWorkers) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.ParallelMorsels(5, 100, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 5u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  // morsel == 0 clamps to one morsel spanning the whole input.
+  calls = 0;
+  pool.ParallelMorsels(17, 0, [&](size_t begin, size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 17u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  pool.ParallelMorsels(0, 8,
+                       [](size_t, size_t) { FAIL() << "n == 0 runs nothing"; });
+}
+
+TEST(ThreadPoolMorselTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelMorsels(99, 3,
+                                    [](size_t begin, size_t) {
+                                      if (begin == 33) {
+                                        throw std::runtime_error("boom");
+                                      }
+                                    }),
+               std::runtime_error);
+  std::atomic<size_t> total{0};
+  pool.ParallelMorsels(50, 5, [&](size_t begin, size_t end) {
+    total.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 50u);
+}
+
+TEST(ThreadPoolMorselTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 100; ++job) {
+    pool.ParallelMorsels(17, 4, [&](size_t begin, size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 1700u);
 }
 
 // ---------------------------------------------------------------------------
@@ -407,6 +511,167 @@ TEST(ParallelBatchTest, EngineNamedBatchMatchesSequential) {
     parallel.ApplyBatch(std::span<const Delta<IntRing>>(batch));
     ExpectViewsIdentical(parallel.tree(), sequential.tree());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-mode equivalence: the morsel size is pure scheduling. Results must
+// be bit-identical to the sequential path at every point of the
+// threads x morsel-size grid, for every ring. Suite name carries "Morsel"
+// for the TSan CI pass.
+
+// Applies the same random batches to a sequential tree and to parallel
+// trees across threads {1, 2, 4, 8} x morsel sizes {one-entry, tiny,
+// default, effectively-single-morsel}, checking every view after every
+// batch. A 1-byte morsel clamps to one delta per cell (maximal grid and
+// stealing); 1 MiB degenerates to one morsel per source at these sizes.
+template <RingType R, typename DrawFn>
+void CheckMorselEquivalence(const Query& q, const VariableOrder* vo,
+                            DrawFn&& draw, uint64_t seed) {
+  auto make = [&] {
+    auto t = vo == nullptr ? ViewTree<R>::Make(q) : ViewTree<R>::Make(q, *vo);
+    EXPECT_TRUE(t.ok());
+    return *std::move(t);
+  };
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (size_t morsel :
+         {size_t{1}, size_t{64}, size_t{0}, size_t{1} << 20}) {
+      ViewTree<R> sequential = make();
+      ViewTree<R> parallel = make();
+      parallel.SetThreads(threads);
+      parallel.SetMorselBytes(morsel);
+      Rng rng(seed);
+      for (size_t size : {3u, 40u, 200u}) {
+        std::vector<typename ViewTree<R>::BatchEntry> batch;
+        for (size_t i = 0; i < size; ++i) batch.push_back(draw(rng));
+        sequential.ApplyBatch(
+            std::span<const typename ViewTree<R>::BatchEntry>(batch));
+        parallel.ApplyBatch(
+            std::span<const typename ViewTree<R>::BatchEntry>(batch));
+        ExpectViewsIdentical(parallel, sequential);
+      }
+    }
+  }
+}
+
+TEST(MorselBatchTest, MatchesSequentialIntRingTriangle) {
+  // Cyclic query under a path order: every source takes the ByRange
+  // morsel-grid path, so this sweep exercises the emit segments hardest.
+  Query q = TriangleQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  CheckMorselEquivalence<IntRing>(
+      q, &*vo,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(3), Tuple{rng.UniformInt(0, 4), rng.UniformInt(0, 4)},
+            rng.Chance(0.4) ? -1 : 1};
+      },
+      41);
+}
+
+TEST(MorselBatchTest, MatchesSequentialIntRingByKey) {
+  // Q-hierarchical: ByKey sources ignore the morsel grid, and must keep
+  // ignoring it — the knob may not perturb the hash-partitioned path.
+  CheckMorselEquivalence<IntRing>(
+      TheQuery(), nullptr,
+      [](Rng& rng) {
+        return ViewTree<IntRing>::BatchEntry{
+            rng.Uniform(2), Tuple{rng.UniformInt(0, 5), rng.UniformInt(0, 5)},
+            rng.Chance(0.4) ? -1 : 2};
+      },
+      42);
+}
+
+TEST(MorselBatchTest, MatchesSequentialProductRingFanout) {
+  using PR = ProductRing<IntRing, IntRing>;
+  Query q = FanoutQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  CheckMorselEquivalence<PR>(
+      q, &*vo,
+      [](Rng& rng) {
+        int64_t m = rng.Chance(0.4) ? -1 : 1;
+        if (rng.Chance(0.5)) {
+          return ViewTree<PR>::BatchEntry{
+              0, Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 3)},
+              {m, 2 * m}};
+        }
+        return ViewTree<PR>::BatchEntry{1, Tuple{rng.UniformInt(0, 3)},
+                                        {m, 2 * m}};
+      },
+      43);
+}
+
+TEST(MorselBatchTest, MatchesSequentialCovarRingFanout) {
+  using CR = CovarRing<2>;
+  Query q = FanoutQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B});
+  ASSERT_TRUE(vo.ok());
+  CheckMorselEquivalence<CR>(
+      q, &*vo,
+      [](Rng& rng) {
+        CR::Value v = CR::Lift(rng.Uniform(2),
+                               static_cast<double>(rng.UniformInt(1, 9)));
+        if (rng.Chance(0.3)) v = CR::Neg(v);
+        if (rng.Chance(0.5)) {
+          return ViewTree<CR>::BatchEntry{
+              0, Tuple{rng.UniformInt(0, 20), rng.UniformInt(0, 3)}, v};
+        }
+        return ViewTree<CR>::BatchEntry{1, Tuple{rng.UniformInt(0, 3)}, v};
+      },
+      44);
+}
+
+TEST(MorselBatchTest, ShardLayoutInvariantUnderMorselSize) {
+  // Stronger than payload equality: at a fixed thread count, trees run at
+  // different morsel sizes share the same fixed shard partition, so even
+  // the physical shard layouts coincide.
+  Query q = TriangleQuery();
+  auto vo = VariableOrder::FromPath(q, {A, B, C});
+  ASSERT_TRUE(vo.ok());
+  std::vector<ViewTree<IntRing>> trees;
+  for (size_t morsel :
+       {size_t{1}, size_t{64}, size_t{0}, size_t{1} << 20}) {
+    auto t = ViewTree<IntRing>::Make(q, *vo);
+    ASSERT_TRUE(t.ok());
+    trees.push_back(*std::move(t));
+    trees.back().SetThreads(4);
+    trees.back().SetMorselBytes(morsel);
+  }
+  Rng rng(45);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<ViewTree<IntRing>::BatchEntry> batch;
+    for (int i = 0; i < 150; ++i) {
+      batch.push_back({rng.Uniform(3),
+                       Tuple{rng.UniformInt(0, 4), rng.UniformInt(0, 4)},
+                       rng.Chance(0.4) ? -1 : 1});
+    }
+    for (auto& t : trees) {
+      t.ApplyBatch(std::span<const ViewTree<IntRing>::BatchEntry>(batch));
+    }
+    for (size_t k = 1; k < trees.size(); ++k) {
+      ExpectViewsIdentical(trees[k], trees[0]);
+      for (size_t n = 0; n < trees[0].plan().nodes().size(); ++n) {
+        const auto& wa = trees[0].NodeW(static_cast<int>(n));
+        const auto& wb = trees[k].NodeW(static_cast<int>(n));
+        ASSERT_EQ(wa.num_shards(), wb.num_shards());
+        for (size_t s = 0; s < wa.num_shards(); ++s) {
+          ASSERT_EQ(wa.shard(s).size(), wb.shard(s).size())
+              << "tree " << k << " node " << n << " shard " << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(MorselBatchTest, SetMorselBytesZeroRestoresDefault) {
+  auto t = ViewTree<IntRing>::Make(TheQuery());
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->morsel_bytes(), ViewTree<IntRing>::kDefaultMorselBytes);
+  t->SetMorselBytes(4096);
+  EXPECT_EQ(t->morsel_bytes(), 4096u);
+  t->SetMorselBytes(0);
+  EXPECT_EQ(t->morsel_bytes(), ViewTree<IntRing>::kDefaultMorselBytes);
 }
 
 TEST(ParallelBatchTest, SetThreadsMidStreamPreservesState) {

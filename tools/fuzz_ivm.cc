@@ -49,6 +49,9 @@ struct Args {
   size_t check_every = 16;
   size_t threads = 4;
   size_t readers = 0;
+  // SIZE_MAX = sweep the built-in morsel axis by seed; anything else
+  // (including 0 = engine default) pins one morsel size for every seed.
+  size_t morsel = SIZE_MAX;
   bool durable = true;
   bool shrink = true;
   bool quiet = false;
@@ -67,6 +70,8 @@ void Usage(const char* argv0) {
       "  --duration SEC  run consecutive seeds for ~SEC seconds\n"
       "  --check-every N oracle-compare cadence in steps (default 16)\n"
       "  --threads N     parallel view-tree thread count (default 4)\n"
+      "  --morsel BYTES  pin the parallel morsel size (0 = engine default;\n"
+      "                  unset = sweep tiny/small/default/huge by seed)\n"
       "  --readers N     concurrent snapshot-reader threads (default 0 =\n"
       "                  skip the snapshot-isolation pass)\n"
       "  --no-durable    skip the WAL kill/recovery passes\n"
@@ -101,6 +106,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->check_every = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--threads") == 0 && (v = need(i))) {
       a->threads = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--morsel") == 0 && (v = need(i))) {
+      a->morsel = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--readers") == 0 && (v = need(i))) {
       a->readers = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--no-durable") == 0) {
@@ -129,6 +136,16 @@ DifferOptions MakeDifferOptions(const Args& a, uint64_t seed) {
   d.durable = a.durable;
   d.scratch_dir = a.out_dir + "/.fuzz_wal";
   d.seed = seed;
+  // The morsel axis: unless pinned, sweep the differ's parallel variants
+  // and snapshot/durability passes across pathological-to-huge morsel
+  // grids by seed. 64 bytes forces one-entry morsels (maximal stealing
+  // and segment count); 1 GiB degenerates to a single morsel per source.
+  if (a.morsel != SIZE_MAX) {
+    d.morsel_bytes = a.morsel;
+  } else {
+    static constexpr size_t kMorselAxis[] = {0, 64, 4096, size_t{1} << 30};
+    d.morsel_bytes = kMorselAxis[seed % 4];
+  }
   return d;
 }
 
